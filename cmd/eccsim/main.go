@@ -1,0 +1,288 @@
+// Command eccsim regenerates the ECC Parity paper's evaluation tables and
+// figures from the simulator. Each experiment is addressed by its paper id:
+//
+//	eccsim -exp fig1      # capacity overhead breakdown
+//	eccsim -exp table2    # evaluated ECC configurations
+//	eccsim -exp table3    # capacity overheads incl. end-of-life Monte Carlo
+//	eccsim -exp fig9      # workload bandwidth characterization
+//	eccsim -exp fig10     # memory EPI reduction, quad-equivalent systems
+//	eccsim -exp fig11     # memory EPI reduction, dual-equivalent systems
+//	eccsim -exp fig12     # dynamic EPI reduction (quad)
+//	eccsim -exp fig13     # background EPI reduction (quad)
+//	eccsim -exp fig14     # performance normalized (quad)
+//	eccsim -exp fig15     # performance normalized (dual)
+//	eccsim -exp fig16     # accesses per instruction normalized (quad)
+//	eccsim -exp fig17     # accesses per instruction normalized (dual)
+//	eccsim -exp table1    # core microarchitecture
+//	eccsim -exp counters  # §III-E error-counter SRAM budget
+//	eccsim -exp hpcstall  # §VI-B HPC stall estimate
+//	eccsim -exp undetected# §VI-D undetectable error estimate
+//	eccsim -exp all       # everything above
+//
+// Use -cycles and -warmup to trade fidelity for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"eccparity/internal/cpu"
+	"eccparity/internal/ecc"
+	"eccparity/internal/faultmodel"
+	"eccparity/internal/sim"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1..fig18, table1..table3, counters, hpcstall, undetected, all)")
+	cycles := flag.Float64("cycles", 400000, "measured cycles per simulation")
+	warmup := flag.Int("warmup", 60000, "per-core LLC warmup accesses")
+	trials := flag.Int("trials", 2000, "Monte Carlo trials for EOL studies")
+	flag.BoolVar(&csvOut, "csv", false, "emit comparison figures as CSV rows")
+	flag.Parse()
+
+	opts := []sim.Option{sim.WithCycles(*cycles), sim.WithWarmup(*warmup)}
+
+	run := map[string]func(){
+		"fig1":       fig1,
+		"table1":     table1,
+		"table2":     table2,
+		"table3":     func() { table3(*trials) },
+		"fig9":       func() { fig9(opts) },
+		"fig10":      func() { figEPI(sim.QuadEq, opts) },
+		"fig11":      func() { figEPI(sim.DualEq, opts) },
+		"fig12":      func() { figDyn(opts) },
+		"fig13":      func() { figBg(opts) },
+		"fig14":      func() { figPerf(sim.QuadEq, opts) },
+		"fig15":      func() { figPerf(sim.DualEq, opts) },
+		"fig16":      func() { figAcc(sim.QuadEq, opts) },
+		"fig17":      func() { figAcc(sim.DualEq, opts) },
+		"counters":   counters,
+		"hpcstall":   hpcStall,
+		"undetected": undetected,
+		"mixedrank":  mixedRank,
+	}
+	if *exp == "all" {
+		keys := make([]string, 0, len(run))
+		for k := range run {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			run[k]()
+		}
+		return
+	}
+	fn, ok := run[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (fig2/fig8/fig18 live in cmd/faultmc)\n", *exp)
+		os.Exit(2)
+	}
+	fn()
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+// evalCache shares one (scheme × workload) matrix per system class across
+// figures when running -exp all.
+var evalCache = map[sim.SystemClass]*sim.Evaluation{}
+
+func evaluation(class sim.SystemClass, opts []sim.Option) *sim.Evaluation {
+	if ev, ok := evalCache[class]; ok {
+		return ev
+	}
+	ev := sim.NewEvaluation(class, nil, nil, opts...)
+	evalCache[class] = ev
+	return ev
+}
+
+func fig1() {
+	header("Fig. 1 — capacity overhead breakdown (detection vs correction bits)")
+	for _, r := range sim.Fig1CapacityBreakdown() {
+		fmt.Printf("%-38s detection %5.1f%%  correction %5.1f%%  total %5.1f%%\n",
+			r.Scheme, 100*r.Detection, 100*r.Correction, 100*(r.Detection+r.Correction))
+	}
+}
+
+func table1() {
+	header("Table I — processor microarchitecture")
+	p := cpu.DefaultParams()
+	fmt.Printf("Issue width %d | bounded MLP %d | LLC hit %d cycles | 8 cores, 2GHz\n",
+		p.IssueWidth, p.MaxOutstanding, p.LLCHitCycles)
+	fmt.Println("L2 (LLC): 8MB, 16 ways, 64B/128B lines per scheme")
+}
+
+func table2() {
+	header("Table II — evaluated ECC configurations")
+	fmt.Printf("%-32s %-14s %5s %10s %9s %9s\n", "", "Rank", "Line", "Ranks/Chan", "Channels", "I/O pins")
+	for _, key := range []string{"chipkill36", "chipkill18", "lotecc5", "lotecc9", "multiecc", "lotecc5+parity", "raim", "raim+parity"} {
+		sc := sim.SchemeByKey(key)
+		g := sc.Base.Geometry()
+		fmt.Printf("%-32s %-14s %4dB %10d %5d,%3d %5d,%4d\n",
+			sc.Display, g.RankConfig, g.LineSize, g.RanksPerChannel,
+			g.ChannelsDualEq, g.ChannelsQuadEq, g.PinsDualEq, g.PinsQuadEq)
+	}
+}
+
+func table3(trials int) {
+	header("Table III — capacity overheads (EOL = end of life)")
+	for _, r := range sim.Table3Capacity(trials, 1) {
+		if r.EOL > 0 {
+			fmt.Printf("%-40s %5.1f%%, EOL avg: %5.1f%%\n", r.Config, 100*r.Overhead, 100*r.EOL)
+		} else {
+			fmt.Printf("%-40s %5.1f%%\n", r.Config, 100*r.Overhead)
+		}
+	}
+}
+
+func fig9(opts []sim.Option) {
+	header("Fig. 9 — workload bandwidth utilization (dual-channel commercial ECC)")
+	rows := sim.Fig9Bandwidth(opts...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Utilization > rows[j].Utilization })
+	for _, r := range rows {
+		bin := "Bin1"
+		if r.Bin2 {
+			bin = "Bin2"
+		}
+		fmt.Printf("%-15s %s  %5.1f%% of peak  (%.1f GB/s)\n", r.Workload, bin, 100*r.Utilization, r.GBs)
+	}
+}
+
+// csvOut switches the comparison figures to machine-readable CSV.
+var csvOut bool
+
+func printComparison(c sim.Comparison, unit string) {
+	if csvOut {
+		fmt.Printf("workload")
+		for _, b := range c.Baselines {
+			fmt.Printf(",vs_%s", b)
+		}
+		fmt.Println()
+		for _, row := range c.Rows {
+			fmt.Printf("%s", row.Workload)
+			for _, b := range c.Baselines {
+				fmt.Printf(",%.3f", row.Value[b])
+			}
+			fmt.Println()
+		}
+		for _, agg := range []struct {
+			label string
+			m     map[string]float64
+		}{{"bin1_mean", c.Bin1Mean}, {"bin2_mean", c.Bin2Mean}, {"mean", c.Mean}} {
+			fmt.Printf("%s", agg.label)
+			for _, b := range c.Baselines {
+				fmt.Printf(",%.3f", agg.m[b])
+			}
+			fmt.Println()
+		}
+		return
+	}
+	fmt.Printf("%-15s", "workload")
+	for _, b := range c.Baselines {
+		fmt.Printf(" %14s", "vs "+b)
+	}
+	fmt.Println()
+	for _, row := range c.Rows {
+		fmt.Printf("%-15s", row.Workload)
+		for _, b := range c.Baselines {
+			fmt.Printf(" %13.1f%s", row.Value[b], unit)
+		}
+		fmt.Println()
+	}
+	for _, label := range []string{"Bin1 mean", "Bin2 mean", "mean"} {
+		fmt.Printf("%-15s", label)
+		for _, b := range c.Baselines {
+			var v float64
+			switch label {
+			case "Bin1 mean":
+				v = c.Bin1Mean[b]
+			case "Bin2 mean":
+				v = c.Bin2Mean[b]
+			default:
+				v = c.Mean[b]
+			}
+			fmt.Printf(" %13.1f%s", v, unit)
+		}
+		fmt.Println()
+	}
+}
+
+func figEPI(class sim.SystemClass, opts []sim.Option) {
+	header(fmt.Sprintf("Fig. %s — memory EPI reduction, %s systems", figNo(class, "10", "11"), class))
+	ev := evaluation(class, opts)
+	fmt.Println("LOT-ECC5 + ECC Parity:")
+	printComparison(ev.Fig10EPI(), "%")
+	fmt.Println("RAIM + ECC Parity:")
+	printComparison(ev.FigRAIMEPI(), "%")
+}
+
+func figDyn(opts []sim.Option) {
+	header("Fig. 12 — dynamic EPI reduction, quad-equivalent systems")
+	ev := evaluation(sim.QuadEq, opts)
+	printComparison(ev.Fig12Dynamic(), "%")
+	fmt.Println("RAIM + ECC Parity:")
+	printComparison(ev.Fig12DynamicRAIM(), "%")
+}
+
+func figBg(opts []sim.Option) {
+	header("Fig. 13 — background EPI reduction, quad-equivalent systems")
+	ev := evaluation(sim.QuadEq, opts)
+	printComparison(ev.Fig13Background(), "%")
+}
+
+func figPerf(class sim.SystemClass, opts []sim.Option) {
+	header(fmt.Sprintf("Fig. %s — performance normalized to baselines, %s systems", figNo(class, "14", "15"), class))
+	ev := evaluation(class, opts)
+	printComparison(ev.Fig14Perf(), "x")
+	fmt.Println("RAIM + ECC Parity:")
+	printComparison(ev.Fig14PerfRAIM(), "x")
+}
+
+func figAcc(class sim.SystemClass, opts []sim.Option) {
+	header(fmt.Sprintf("Fig. %s — memory accesses per instruction normalized (lower is better), %s systems", figNo(class, "16", "17"), class))
+	ev := evaluation(class, opts)
+	printComparison(ev.Fig16Accesses(), "x")
+}
+
+func figNo(class sim.SystemClass, quad, dual string) string {
+	if class == sim.QuadEq {
+		return quad
+	}
+	return dual
+}
+
+func counters() {
+	header("§III-E — error-counter SRAM budget")
+	fmt.Printf("512GB system, 1024 rank-level banks: %dB of on-chip counters (0.5B per pair)\n",
+		faultmodel.CounterSRAMBytes(1024)*2)
+	fmt.Printf("Max pages retired before a pair saturates (threshold 4, 8 channels): %d\n",
+		faultmodel.MaxRetiredPages(4, 8))
+}
+
+func hpcStall() {
+	header("§VI-B — HPC system stall estimate")
+	cfg := faultmodel.DefaultHPCConfig()
+	fmt.Printf("2PB system, 128GB/node, 1GB/s NIC: stalled %.2f%% of the time (paper: 0.35%%)\n",
+		100*cfg.StallFraction())
+}
+
+func mixedRank() {
+	header("§VI-A — mixed narrow/wide ranks (2 wide + 2 narrow per channel, 8 channels)")
+	fmt.Println("hot%   dyn pJ/access   vs all-narrow   capacity vs all-narrow   ECC overhead (parity vs none)")
+	hots := []float64{0, 0.5, 0.8, 0.9, 0.95, 1.0}
+	for i, r := range sim.MixedRankSweep() {
+		fmt.Printf("%4.0f%%  %13.0f   %12.2fx   %21.2fx   %.1f%% vs %.1f%%\n",
+			100*hots[i], r.Blended, r.BlendedVsAllNarrow, r.RelativeCapacity,
+			100*r.OverheadWithParity, 100*r.OverheadWithoutParity)
+	}
+}
+
+func undetected() {
+	header("§VI-D — undetectable error rate, modified LOT-ECC5 encoding")
+	years := faultmodel.UndetectedErrorYears(faultmodel.PaperTopology(8), faultmodel.DefaultRates(), 4)
+	fmt.Printf("One undetected error per %.0f years (paper: ~300,000; target: 1000)\n", years)
+	_ = ecc.NewLOTECC5()
+}

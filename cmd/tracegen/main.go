@@ -1,0 +1,103 @@
+// Command tracegen records workload access traces to disk and inspects
+// them. Traces make simulations exactly repeatable and shareable — the
+// moral equivalent of the paper's SimPoint checkpoints:
+//
+//	tracegen -workload mcf -out /tmp/mcf -n 200000    # one file per core
+//	tracegen -inspect /tmp/mcf.core0.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"eccparity/internal/workload"
+)
+
+func main() {
+	name := flag.String("workload", "", "workload to record (see -list)")
+	out := flag.String("out", "", "output path prefix; .coreN.trace is appended")
+	n := flag.Int("n", 100000, "accesses per core")
+	cores := flag.Int("cores", 8, "number of cores")
+	seed := flag.Int64("seed", 1, "generator seed")
+	inspect := flag.String("inspect", "", "print statistics of an existing trace")
+	list := flag.Bool("list", false, "list workloads")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, s := range workload.Specs() {
+			bin := "Bin1"
+			if s.Bin2 {
+				bin = "Bin2"
+			}
+			fmt.Printf("%-15s %s APKI=%.0f ws=%dMB seq=%.2f wf=%.2f\n",
+				s.Name, bin, s.APKI, s.WorkingSetBytes>>20, s.Seq, s.WriteFrac)
+		}
+	case *inspect != "":
+		inspectTrace(*inspect)
+	case *name != "" && *out != "":
+		record(*name, *out, *n, *cores, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func record(name, out string, n, cores int, seed int64) {
+	spec, ok := workload.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
+		os.Exit(2)
+	}
+	for core := 0; core < cores; core++ {
+		path := fmt.Sprintf("%s.core%d.trace", out, core)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g := workload.NewGenerator(spec, core, seed)
+		if err := workload.WriteTrace(f, g, n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d accesses)\n", path, n)
+	}
+}
+
+func inspectTrace(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	tr, err := workload.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var instr, writes, seq uint64
+	var prev uint64
+	for i := 0; i < tr.Len(); i++ {
+		a := tr.Next()
+		instr += uint64(a.InstrGap)
+		if a.Write {
+			writes++
+		}
+		if i > 0 && a.Addr == prev+workload.LineBytes {
+			seq++
+		}
+		prev = a.Addr
+	}
+	fmt.Printf("%s: %d accesses, %d instructions\n", path, tr.Len(), instr)
+	fmt.Printf("  APKI %.1f | writes %.1f%% | sequential %.1f%%\n",
+		float64(tr.Len())/float64(instr)*1000,
+		100*float64(writes)/float64(tr.Len()),
+		100*float64(seq)/float64(tr.Len()-1))
+}

@@ -1,0 +1,74 @@
+// Quickstart: the ECC Parity mechanism end to end on real bytes.
+//
+// Builds a four-channel memory system using LOT-ECC5 as the base ECC with
+// the ECC Parity overlay, writes data, kills a DRAM device in one channel,
+// and shows the overlay detecting the error, reconstructing the line's
+// correction bits from the cross-channel ECC parity, and recovering the
+// exact data — even though the correction bits were never stored.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"eccparity/internal/core"
+	"eccparity/internal/ecc"
+)
+
+func main() {
+	sys := core.NewSystem(core.Config{
+		Base:             ecc.NewLOTECC5(), // chipkill-class, 5 chips per rank
+		Channels:         4,
+		BanksPerChannel:  4,
+		RowsPerBank:      8,
+		SlotsPerRow:      4,
+		CounterThreshold: 4,
+	})
+
+	// Write a recognizable line into channel 1.
+	addr := core.LineAddr{Channel: 1, Bank: 2, Row: 3, Slot: 0}
+	data := bytes.Repeat([]byte("ECCParity!"), 7)[:sys.LineSize()]
+	if err := sys.Write(addr, data); err != nil {
+		log.Fatalf("write: %v", err)
+	}
+	// Fill neighbours so the parity group is populated.
+	for ch := 0; ch < 4; ch++ {
+		for slot := 0; slot < 4; slot++ {
+			a := core.LineAddr{Channel: ch, Bank: 2, Row: 3, Slot: slot}
+			if a == addr {
+				continue
+			}
+			if err := sys.Write(a, bytes.Repeat([]byte{byte(16*ch + slot)}, sys.LineSize())); err != nil {
+				log.Fatalf("write %+v: %v", a, err)
+			}
+		}
+	}
+
+	fmt.Println("1. Clean read:")
+	got, err := sys.Read(addr)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("   %q... (errors detected so far: %d)\n", got[:20], sys.Stats.ErrorsDetected)
+
+	fmt.Println("2. Killing device 0 of channel 1, bank 2, row 3 (stuck bits)...")
+	sys.InjectFault(core.InjectedFault{Channel: 1, Bank: 2, Row: 3, Shard: 0, Mask: 0x5A})
+
+	fmt.Println("3. Read through the fault:")
+	got, err = sys.Read(addr)
+	if err != nil {
+		log.Fatalf("read: %v", err)
+	}
+	fmt.Printf("   %q...\n", got[:20])
+	fmt.Printf("   recovered intact: %v\n", bytes.Equal(got, data))
+	fmt.Printf("   errors detected: %d, corrected: %d\n", sys.Stats.ErrorsDetected, sys.Stats.ErrorsCorrected)
+	fmt.Printf("   correction bits reconstructed from ECC parity: %d time(s)\n", sys.Stats.Reconstructions)
+	fmt.Printf("   pages retired by the OS (faulty + parity-sharing peers): %d\n", sys.Stats.PagesRetired)
+
+	fmt.Println("4. Capacity overhead of this protection (Table III):")
+	r := ecc.R(ecc.NewLOTECC5())
+	fmt.Printf("   LOT-ECC5 alone:            %.1f%%\n", 100*ecc.NewLOTECC5().Overheads().Total())
+	fmt.Printf("   + ECC Parity, 4 channels:  %.1f%%\n", 100*core.StaticOverhead(r, 4))
+	fmt.Printf("   + ECC Parity, 8 channels:  %.1f%%\n", 100*core.StaticOverhead(r, 8))
+}

@@ -1,0 +1,44 @@
+// Scrub study: how the memory scrub interval trades reliability against
+// overhead (the paper's §VI-C / Fig. 18 analysis). For each candidate
+// detection window it reports the probability that faults accumulate in
+// more than one channel inside a single window over a 7-year life — the
+// event ECC parities cannot cover — and the resulting uncorrectable-error
+// interval under the paper's pessimistic assumption, alongside the scrub
+// traffic cost.
+package main
+
+import (
+	"fmt"
+
+	"eccparity/internal/faultmodel"
+)
+
+func main() {
+	topo := faultmodel.PaperTopology(8)
+	life := 7 * faultmodel.HoursPerYear
+
+	// A 32GB-per-channel system scrubbed once per window: reading every
+	// line costs capacity/bandwidth time.
+	const memBytesPerChannel = 32e9
+	const scrubBW = 1e9 // bytes/s budgeted for background scrubbing
+
+	fmt.Println("Eight-channel system, 44 FIT/chip (field-measured average), 7-year life")
+	fmt.Printf("%-12s %-22s %-26s %s\n", "window", "P(>1 channel faults)", "uncorrectable interval", "scrub duty cycle")
+	for _, w := range []float64{1, 2, 4, 8, 24, 72, 168} {
+		p := faultmodel.ProbMultiChannelInWindow(44, topo, w, life)
+		// Pessimistic: every multi-channel window event is uncorrectable.
+		var interval string
+		if p > 0 {
+			interval = fmt.Sprintf("once per %.0f years", 7/p)
+		} else {
+			interval = "never"
+		}
+		scrubSeconds := memBytesPerChannel / scrubBW
+		duty := scrubSeconds / (w * 3600)
+		fmt.Printf("%9.0f h  %20.6f  %-26s %6.2f%%\n", w, p, interval, 100*duty)
+	}
+	fmt.Println("\nPaper reference: an 8h window at a pessimistic 100 FIT/chip gives 0.0002 —")
+	fmt.Printf("our model: %.6f — one extra uncorrectable error per ~35,000 years,\n",
+		faultmodel.ProbMultiChannelInWindow(100, topo, 8, life))
+	fmt.Println("against a common target of one per 10 years per server.")
+}

@@ -1,0 +1,3 @@
+module eccparity
+
+go 1.22

@@ -1,0 +1,168 @@
+// Package cache implements the shared last-level cache model: set
+// associative, LRU, write-back/write-allocate, with unified handling of
+// demand data lines and the ECC-related lines the paper's optimizations
+// cache alongside them (Fig. 7): ECC lines (stored correction bits / GEC)
+// and XOR cachelines (compacted parity-update accumulators).
+//
+// ECC-related lines are inserted with the same insertion and replacement
+// policy as data lines, as §IV-C of the paper models.
+package cache
+
+import "fmt"
+
+// Kind classifies a cached line.
+type Kind int
+
+// Line kinds.
+const (
+	Data Kind = iota
+	ECC       // a line of stored ECC correction bits (or GEC/T2EC)
+	XOR       // an XOR cacheline accumulating parity updates (Eq. 1)
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case ECC:
+		return "ecc"
+	case XOR:
+		return "xor"
+	}
+	return "?"
+}
+
+// Evicted describes a line pushed out by an allocation.
+type Evicted struct {
+	Addr  uint64
+	Kind  Kind
+	Dirty bool
+}
+
+// Stats counts cache events per line kind.
+type Stats struct {
+	Hits      [numKinds]uint64
+	Misses    [numKinds]uint64
+	Evictions [numKinds]uint64
+}
+
+// MissRate returns the miss rate for a kind.
+func (s *Stats) MissRate(k Kind) float64 {
+	total := s.Hits[k] + s.Misses[k]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses[k]) / float64(total)
+}
+
+type entry struct {
+	valid bool
+	tag   uint64 // line address (addr / lineBytes)
+	kind  Kind
+	dirty bool
+	used  uint64 // LRU timestamp
+}
+
+// Cache is a set-associative LRU cache indexed by byte address.
+type Cache struct {
+	sets      [][]entry
+	ways      int
+	lineBytes int
+	setMask   uint64
+	tick      uint64
+	stats     Stats
+}
+
+// New builds a cache. sizeBytes/lineBytes/ways must yield a power-of-two
+// set count.
+func New(sizeBytes, ways, lineBytes int) *Cache {
+	lines := sizeBytes / lineBytes
+	nsets := lines / ways
+	if nsets <= 0 || nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
+	}
+	sets := make([][]entry, nsets)
+	backing := make([]entry, nsets*ways)
+	for i := range sets {
+		sets[i], backing = backing[:ways], backing[ways:]
+	}
+	return &Cache{sets: sets, ways: ways, lineBytes: lineBytes, setMask: uint64(nsets - 1)}
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Stats returns the event counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// lineAddr converts a byte address to a line address.
+func (c *Cache) lineAddr(addr uint64) uint64 { return addr / uint64(c.lineBytes) }
+
+// Access looks up addr; on a miss it allocates, possibly evicting. The
+// returned Evicted (nil if none, or the victim was clean and the caller
+// asked only for dirty victims via its Dirty field) lets the caller issue
+// the writeback and any ECC-maintenance traffic.
+func (c *Cache) Access(addr uint64, kind Kind, write bool) (hit bool, victim *Evicted) {
+	la := c.lineAddr(addr)
+	set := c.sets[la&c.setMask]
+	c.tick++
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.tag == la && e.kind == kind {
+			e.used = c.tick
+			if write {
+				e.dirty = true
+			}
+			c.stats.Hits[kind]++
+			return true, nil
+		}
+	}
+	c.stats.Misses[kind]++
+	// Choose victim: invalid way first, else LRU.
+	vi := 0
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+		if set[i].used < set[vi].used {
+			vi = i
+		}
+	}
+	v := &set[vi]
+	if v.valid {
+		victim = &Evicted{Addr: v.tag * uint64(c.lineBytes), Kind: v.kind, Dirty: v.dirty}
+		c.stats.Evictions[v.kind]++
+	}
+	*v = entry{valid: true, tag: la, kind: kind, dirty: write, used: c.tick}
+	return false, victim
+}
+
+// Probe reports whether addr is cached with the given kind, without
+// touching LRU state or allocating.
+func (c *Cache) Probe(addr uint64, kind Kind) bool {
+	la := c.lineAddr(addr)
+	set := c.sets[la&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == la && set[i].kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushDirty evicts every dirty line, invoking fn for each; used at the end
+// of a simulation to drain pending writebacks.
+func (c *Cache) FlushDirty(fn func(Evicted)) {
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			e := &c.sets[si][wi]
+			if e.valid && e.dirty {
+				fn(Evicted{Addr: e.tag * uint64(c.lineBytes), Kind: e.kind, Dirty: true})
+				e.dirty = false
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(8<<20, 16, 64)
+	hit, _ := c.Access(0x1000, Data, false)
+	if hit {
+		t.Fatal("first access must miss")
+	}
+	hit, _ = c.Access(0x1000, Data, false)
+	if !hit {
+		t.Fatal("second access must hit")
+	}
+	if c.Stats().Hits[Data] != 1 || c.Stats().Misses[Data] != 1 {
+		t.Fatalf("stats wrong: %+v", c.Stats())
+	}
+}
+
+func TestSameLineDifferentOffsetsHit(t *testing.T) {
+	c := New(8<<20, 16, 128)
+	c.Access(0x1000, Data, false)
+	if hit, _ := c.Access(0x1040, Data, false); !hit {
+		t.Fatal("offset within a 128B line must hit — this is the large-line spatial-locality effect")
+	}
+}
+
+func TestKindsDoNotAlias(t *testing.T) {
+	c := New(8<<20, 16, 64)
+	c.Access(0x2000, Data, false)
+	if hit, _ := c.Access(0x2000, XOR, false); hit {
+		t.Fatal("same address with different kind must not hit")
+	}
+}
+
+func TestDirtyEvictionReported(t *testing.T) {
+	c := New(1<<10, 1, 64) // 16 sets, direct mapped: easy conflicts
+	c.Access(0x0, Data, true)
+	// Same set: addresses 16 lines apart.
+	_, victim := c.Access(16*64, Data, false)
+	if victim == nil || !victim.Dirty || victim.Addr != 0 || victim.Kind != Data {
+		t.Fatalf("dirty victim not reported: %+v", victim)
+	}
+	if c.Stats().Evictions[Data] != 1 {
+		t.Fatal("eviction not counted")
+	}
+}
+
+func TestCleanEvictionReported(t *testing.T) {
+	c := New(1<<10, 1, 64)
+	c.Access(0x0, Data, false)
+	_, victim := c.Access(16*64, Data, false)
+	if victim == nil || victim.Dirty {
+		t.Fatalf("clean victim mis-reported: %+v", victim)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := New(2*64, 2, 64) // 1 set, 2 ways
+	c.Access(0, Data, false)
+	c.Access(64, Data, false)
+	c.Access(0, Data, false) // touch 0: 64 becomes LRU
+	_, victim := c.Access(128, Data, false)
+	if victim == nil || victim.Addr != 64 {
+		t.Fatalf("LRU victim should be 64, got %+v", victim)
+	}
+}
+
+func TestWriteSetsDirty(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Access(0, Data, false)
+	c.Access(0, Data, true) // hit-write dirties
+	c.Access(64, Data, false)
+	_, victim := c.Access(128, Data, false) // evicts 0
+	if victim == nil || !victim.Dirty {
+		t.Fatalf("hit-write must dirty the line: %+v", victim)
+	}
+}
+
+func TestProbeDoesNotAllocate(t *testing.T) {
+	c := New(8<<20, 16, 64)
+	if c.Probe(0x3000, ECC) {
+		t.Fatal("probe of absent line")
+	}
+	if c.Stats().Misses[ECC] != 0 {
+		t.Fatal("probe must not count as a miss")
+	}
+	c.Access(0x3000, ECC, false)
+	if !c.Probe(0x3000, ECC) {
+		t.Fatal("probe of present line")
+	}
+}
+
+func TestFlushDirty(t *testing.T) {
+	c := New(1<<12, 4, 64)
+	c.Access(0, Data, true)
+	c.Access(64, XOR, true)
+	c.Access(128, ECC, false)
+	var flushed []Evicted
+	c.FlushDirty(func(e Evicted) { flushed = append(flushed, e) })
+	if len(flushed) != 2 {
+		t.Fatalf("flushed %d lines, want 2 dirty", len(flushed))
+	}
+	// Flushing twice must be a no-op.
+	n := 0
+	c.FlushDirty(func(Evicted) { n++ })
+	if n != 0 {
+		t.Fatal("second flush must find nothing dirty")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two sets must panic")
+		}
+	}()
+	New(3*64, 1, 64)
+}
+
+func TestWorkingSetBehaviour(t *testing.T) {
+	// A working set within capacity converges to ~0 miss rate; one at 2×
+	// capacity thrashes. This anchors the workload calibration.
+	c := New(1<<16, 16, 64) // 64KB
+	small := 512            // lines = 32KB
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < small; i++ {
+			c.Access(uint64(i*64), Data, false)
+		}
+	}
+	if mr := c.Stats().MissRate(Data); mr > 0.3 {
+		t.Fatalf("fitting working set miss rate %v", mr)
+	}
+	c2 := New(1<<16, 16, 64)
+	big := 2048 // 128KB working set in a 64KB cache
+	for pass := 0; pass < 4; pass++ {
+		for i := 0; i < big; i++ {
+			c2.Access(uint64(i*64), Data, false)
+		}
+	}
+	if mr := c2.Stats().MissRate(Data); mr < 0.9 {
+		t.Fatalf("thrashing working set miss rate %v", mr)
+	}
+}
+
+func TestAccessInvariants(t *testing.T) {
+	// Property: hits+misses equals accesses; evictions ≤ misses.
+	c := New(1<<14, 8, 64)
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Access(uint64(a)*64, Data, a%3 == 0)
+		}
+		s := c.Stats()
+		return s.Evictions[Data] <= s.Misses[Data]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: the ECC Parity overlay
+// for multi-channel memory systems.
+//
+// Instead of storing each channel's ECC correction bits in memory, the
+// overlay stores only their bitwise XOR ("ECC parity") across groups of N−1
+// channels, for fault-free memory. Detection bits stay per-line, so reads
+// are unchanged. When a bank pair accumulates enough detected errors, the
+// overlay reconstructs the pair's actual correction bits from the parities
+// and the peer channels, materializes them in memory (at 2× the parity
+// allocation, to cover the correction bits' own ECC), recomputes the
+// affected parity lines to exclude the faulty banks, and from then on uses
+// the stored correction bits directly.
+//
+// The package has two halves: a functional System that stores real encoded
+// bytes and survives injected device faults end-to-end, and the layout /
+// health-table / capacity machinery shared with the performance simulator
+// in internal/sim.
+package core
+
+import "fmt"
+
+// PairKey identifies one bank pair (the granularity at which the overlay
+// tracks whether parities or materialized correction bits protect memory).
+type PairKey struct {
+	Channel int
+	Pair    int // bank index / 2
+}
+
+// HealthTable is the on-chip SRAM structure of §III-C/E: a saturating
+// 4-bit error counter per bank pair plus the faulty mark. The LLC
+// controller consults it in parallel with every request (steps A1/A2 of
+// Fig. 6).
+type HealthTable struct {
+	channels     int
+	banksPerChan int
+	threshold    uint8
+	counters     []uint8
+	marked       []bool
+	markedCount  int
+}
+
+// NewHealthTable builds the table. threshold is the error count at which a
+// pair is recorded faulty (the paper uses 4).
+func NewHealthTable(channels, banksPerChannel int, threshold uint8) *HealthTable {
+	if channels <= 0 || banksPerChannel <= 0 || banksPerChannel%2 != 0 || threshold == 0 {
+		panic(fmt.Sprintf("core: invalid health table geometry: %d channels, %d banks, threshold %d",
+			channels, banksPerChannel, threshold))
+	}
+	pairs := channels * banksPerChannel / 2
+	return &HealthTable{
+		channels:     channels,
+		banksPerChan: banksPerChannel,
+		threshold:    threshold,
+		counters:     make([]uint8, pairs),
+		marked:       make([]bool, pairs),
+	}
+}
+
+func (h *HealthTable) index(channel, bank int) int {
+	if channel < 0 || channel >= h.channels || bank < 0 || bank >= h.banksPerChan {
+		panic(fmt.Sprintf("core: bank (%d,%d) out of range", channel, bank))
+	}
+	return channel*(h.banksPerChan/2) + bank/2
+}
+
+// Pair returns the pair key for a bank.
+func (h *HealthTable) Pair(channel, bank int) PairKey {
+	return PairKey{Channel: channel, Pair: bank / 2}
+}
+
+// IsMarked reports whether the bank's pair is recorded faulty (step A1/A2).
+func (h *HealthTable) IsMarked(channel, bank int) bool {
+	return h.marked[h.index(channel, bank)]
+}
+
+// RecordError increments the pair's saturating counter and returns true
+// exactly when the increment crosses the threshold — the moment the pair
+// must transition from ECC parities to stored correction bits.
+func (h *HealthTable) RecordError(channel, bank int) bool {
+	i := h.index(channel, bank)
+	if h.marked[i] {
+		return false
+	}
+	if h.counters[i] < h.threshold {
+		h.counters[i]++
+	}
+	if h.counters[i] >= h.threshold {
+		h.marked[i] = true
+		h.markedCount++
+		return true
+	}
+	return false
+}
+
+// Mark force-marks a pair (used when a device-level fault is diagnosed
+// directly, e.g. by the scrubber attributing many errors to one bank).
+func (h *HealthTable) Mark(channel, bank int) {
+	i := h.index(channel, bank)
+	if !h.marked[i] {
+		h.marked[i] = true
+		h.markedCount++
+	}
+}
+
+// Counter returns the current error count of the bank's pair.
+func (h *HealthTable) Counter(channel, bank int) uint8 {
+	return h.counters[h.index(channel, bank)]
+}
+
+// MarkedPairs returns how many pairs are recorded faulty.
+func (h *HealthTable) MarkedPairs() int { return h.markedCount }
+
+// MarkedFraction returns the fraction of memory protected by materialized
+// correction bits (marked pairs over all pairs) — Fig. 8's y-axis.
+func (h *HealthTable) MarkedFraction() float64 {
+	return float64(h.markedCount) / float64(len(h.marked))
+}
+
+// SRAMBytes returns the on-chip budget of the table: half a byte (a 4-bit
+// counter) per pair, per §III-E.
+func (h *HealthTable) SRAMBytes() int { return (len(h.counters) + 1) / 2 }

@@ -1,0 +1,96 @@
+package core
+
+import "testing"
+
+func TestHealthTableBasics(t *testing.T) {
+	h := NewHealthTable(4, 8, 4)
+	if h.IsMarked(0, 0) {
+		t.Fatal("fresh table must be clean")
+	}
+	for i := 0; i < 3; i++ {
+		if h.RecordError(1, 5) {
+			t.Fatalf("crossed threshold at %d errors", i+1)
+		}
+	}
+	if h.Counter(1, 5) != 3 || h.Counter(1, 4) != 3 {
+		t.Fatal("counter must be shared by the bank pair")
+	}
+	if !h.RecordError(1, 4) {
+		t.Fatal("fourth error must cross the threshold")
+	}
+	if !h.IsMarked(1, 5) || !h.IsMarked(1, 4) {
+		t.Fatal("both banks of the pair must be marked")
+	}
+	if h.IsMarked(1, 6) || h.IsMarked(0, 5) {
+		t.Fatal("marking leaked to another pair")
+	}
+	if h.MarkedPairs() != 1 {
+		t.Fatalf("marked pairs %d", h.MarkedPairs())
+	}
+}
+
+func TestRecordErrorAfterMarkIsNoop(t *testing.T) {
+	h := NewHealthTable(2, 4, 1)
+	if !h.RecordError(0, 0) {
+		t.Fatal("threshold 1 must mark immediately")
+	}
+	if h.RecordError(0, 1) {
+		t.Fatal("marked pair must not cross again")
+	}
+	if h.MarkedPairs() != 1 {
+		t.Fatal("double counting")
+	}
+}
+
+func TestMarkIdempotent(t *testing.T) {
+	h := NewHealthTable(2, 4, 4)
+	h.Mark(1, 2)
+	h.Mark(1, 3)
+	if h.MarkedPairs() != 1 {
+		t.Fatalf("marked pairs %d, want 1", h.MarkedPairs())
+	}
+}
+
+func TestMarkedFraction(t *testing.T) {
+	h := NewHealthTable(4, 8, 4) // 16 pairs
+	h.Mark(0, 0)
+	h.Mark(2, 6)
+	if got := h.MarkedFraction(); got != 2.0/16.0 {
+		t.Fatalf("fraction %v", got)
+	}
+}
+
+func TestSRAMBudget(t *testing.T) {
+	// §III-E: a 512GB system with 1024 banks uses 0.5B per pair.
+	h := NewHealthTable(8, 128, 4) // 1024 banks → 512 pairs → 256B
+	if got := h.SRAMBytes(); got != 256 {
+		t.Fatalf("SRAM bytes %d, want 256", got)
+	}
+}
+
+func TestHealthTablePanics(t *testing.T) {
+	cases := []func(){
+		func() { NewHealthTable(0, 8, 4) },
+		func() { NewHealthTable(4, 7, 4) }, // odd banks cannot pair
+		func() { NewHealthTable(4, 8, 0) },
+		func() { NewHealthTable(4, 8, 4).IsMarked(4, 0) },
+		func() { NewHealthTable(4, 8, 4).RecordError(0, 8) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPairKey(t *testing.T) {
+	h := NewHealthTable(4, 8, 4)
+	if h.Pair(2, 5) != (PairKey{Channel: 2, Pair: 2}) {
+		t.Fatal("bank 5 belongs to pair 2")
+	}
+}

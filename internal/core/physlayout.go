@@ -1,0 +1,135 @@
+package core
+
+import "fmt"
+
+// PhysicalLayout places ECC parities and materialized correction bits in
+// real DRAM rows, following Figs. 4 and 5 of the paper:
+//
+//   - the last rows of every bank are reserved for parity lines; the
+//     parities protecting one bank of data are distributed across the same
+//     bank index of all channels (each group's parity lives in its parity
+//     channel g.K);
+//   - one parity line of lineBytes holds ⌊1/R⌋ groups' parities (each
+//     R·lineBytes wide), so one parity row covers (N−1)/R data rows;
+//   - when a bank pair is marked faulty, each bank of the pair stores the
+//     correction bits of the OTHER bank's data (letting the data access and
+//     its correction-bit access overlap), at 2·R·lineBytes per data line.
+type PhysicalLayout struct {
+	Channels    int
+	Banks       int // banks per channel
+	TotalRows   int // rows per bank, data + reserved
+	SlotsPerRow int // lines per row
+	LineBytes   int
+	R           float64 // correction bits per data bit of the base ECC
+
+	dataRows       int
+	parityRows     int
+	groupsPerLine  int
+	corrPerLine    int // data lines covered per correction-bit line
+	corrRowsPerBnk int
+}
+
+// NewPhysicalLayout computes the row budget. It panics on geometries that
+// cannot host their own parity (tiny configs), since layout parameters are
+// fixed at design time.
+func NewPhysicalLayout(channels, banks, totalRows, slotsPerRow, lineBytes int, r float64) *PhysicalLayout {
+	if channels < 2 || banks < 2 || banks%2 != 0 || totalRows < 2 || slotsPerRow < 1 || r <= 0 || r > 1 {
+		panic(fmt.Sprintf("core: invalid physical layout (%d ch, %d banks, %d rows, %d slots, R=%v)",
+			channels, banks, totalRows, slotsPerRow, r))
+	}
+	l := &PhysicalLayout{
+		Channels: channels, Banks: banks, TotalRows: totalRows,
+		SlotsPerRow: slotsPerRow, LineBytes: lineBytes, R: r,
+	}
+	l.groupsPerLine = int(1 / r)
+	if l.groupsPerLine < 1 {
+		l.groupsPerLine = 1
+	}
+	l.corrPerLine = int(1 / (2 * r))
+	if l.corrPerLine < 1 {
+		l.corrPerLine = 1
+	}
+	// Each parity row covers (N−1)/R data rows; solve
+	// dataRows + ceil(dataRows·R/(N−1)) ≤ totalRows.
+	cover := float64(channels-1) / r
+	l.dataRows = int(float64(totalRows) / (1 + 1/cover))
+	l.parityRows = totalRows - l.dataRows
+	if l.dataRows < 1 || l.parityRows < 1 {
+		panic("core: bank too small to host its parity rows")
+	}
+	l.corrRowsPerBnk = (l.dataRows*slotsPerRow+l.corrPerLine-1)/l.corrPerLine/slotsPerRow + 1
+	return l
+}
+
+// DataRows returns rows available for data per bank.
+func (l *PhysicalLayout) DataRows() int { return l.dataRows }
+
+// ParityRows returns the reserved parity rows per bank.
+func (l *PhysicalLayout) ParityRows() int { return l.parityRows }
+
+// CorrectionRowsPerBank returns the rows needed to host one bank's
+// correction bits (at the doubled allocation) in its sibling.
+func (l *PhysicalLayout) CorrectionRowsPerBank() int { return l.corrRowsPerBnk }
+
+// ParityLocation is a physical placement of a parity (or correction-bit)
+// chunk: a line address plus the sub-slot within the line.
+type ParityLocation struct {
+	Line    LineAddr
+	SubSlot int
+}
+
+// ParityLineOf places group g's parity: in the group's parity channel, the
+// same bank, packed into the reserved rows after the data region.
+func (l *PhysicalLayout) ParityLineOf(g GroupKey) ParityLocation {
+	idx := g.M
+	lineIdx := idx / l.groupsPerLine
+	row := l.dataRows + lineIdx/l.SlotsPerRow
+	if row >= l.TotalRows {
+		panic(fmt.Sprintf("core: parity overflow for group %+v (row %d of %d)", g, row, l.TotalRows))
+	}
+	return ParityLocation{
+		Line: LineAddr{
+			Channel: g.K,
+			Bank:    g.Bank,
+			Row:     row,
+			Slot:    lineIdx % l.SlotsPerRow,
+		},
+		SubSlot: idx % l.groupsPerLine,
+	}
+}
+
+// CorrectionLineOf places the materialized correction bits of data line a:
+// in the SIBLING bank of a's pair (Fig. 5), repurposing the top of that
+// bank's DATA region. This is why "the effective memory capacity reduces
+// when a device-level fault occurs" (§VI-B): a marked pair gives up
+// CapacityLossOnMark of each bank's data rows to host the other bank's
+// correction bits, and the OS migrates/retires the displaced pages.
+func (l *PhysicalLayout) CorrectionLineOf(a LineAddr) ParityLocation {
+	idx := a.lineIndex(l.SlotsPerRow)
+	lineIdx := idx / l.corrPerLine
+	row := l.dataRows - l.corrRowsPerBnk + lineIdx/l.SlotsPerRow
+	if row < 0 {
+		row = 0
+	}
+	return ParityLocation{
+		Line: LineAddr{
+			Channel: a.Channel,
+			Bank:    a.Bank ^ 1, // the sibling bank of the pair
+			Row:     row,
+			Slot:    lineIdx % l.SlotsPerRow,
+		},
+		SubSlot: idx % l.corrPerLine,
+	}
+}
+
+// CapacityLossOnMark returns the fraction of a marked pair's data rows
+// repurposed for correction bits (≈ 2·R, the doubled allocation).
+func (l *PhysicalLayout) CapacityLossOnMark() float64 {
+	return float64(l.corrRowsPerBnk) / float64(l.dataRows)
+}
+
+// ReservedFraction returns the fraction of each bank devoted to parity
+// rows — the physical realization of the R/(N−1) overhead term.
+func (l *PhysicalLayout) ReservedFraction() float64 {
+	return float64(l.parityRows) / float64(l.TotalRows)
+}

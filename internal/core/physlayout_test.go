@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func testLayout() *PhysicalLayout {
+	// 4 channels, R=0.25: one parity row covers 12 data rows.
+	return NewPhysicalLayout(4, 8, 128, 64, 64, 0.25)
+}
+
+func TestLayoutRowBudget(t *testing.T) {
+	l := testLayout()
+	if l.DataRows()+l.ParityRows() != 128 {
+		t.Fatalf("rows don't add up: %d + %d", l.DataRows(), l.ParityRows())
+	}
+	// Reserved fraction ≈ R/(N−1) of the data (slightly more in row
+	// granularity).
+	want := 0.25 / 3
+	got := float64(l.ParityRows()) / float64(l.DataRows())
+	if math.Abs(got-want)/want > 0.35 {
+		t.Fatalf("parity row fraction %.4f, want ≈%.4f", got, want)
+	}
+}
+
+func TestParityPlacementInvariants(t *testing.T) {
+	l := testLayout()
+	n := l.Channels
+	type key struct {
+		line    LineAddr
+		subSlot int
+	}
+	seen := map[key]GroupKey{}
+	for c := 0; c < n; c++ {
+		for line := 0; line < l.DataRows()*l.SlotsPerRow; line++ {
+			g := GroupOf(c, line, n, 3)
+			loc := l.ParityLineOf(g)
+			if loc.Line.Channel != g.K {
+				t.Fatalf("parity of %+v placed in channel %d, want %d", g, loc.Line.Channel, g.K)
+			}
+			if loc.Line.Bank != g.Bank {
+				t.Fatalf("parity of %+v left its bank: %+v", g, loc.Line)
+			}
+			if loc.Line.Row < l.DataRows() || loc.Line.Row >= l.TotalRows {
+				t.Fatalf("parity of %+v outside reserved rows: %+v", g, loc.Line)
+			}
+			if loc.Line.Slot < 0 || loc.Line.Slot >= l.SlotsPerRow {
+				t.Fatalf("bad slot: %+v", loc.Line)
+			}
+			// Two different groups must never share a physical chunk.
+			k := key{loc.Line, loc.SubSlot}
+			if prev, ok := seen[k]; ok && prev != g {
+				t.Fatalf("groups %+v and %+v collide at %+v", prev, g, k)
+			}
+			seen[k] = g
+		}
+	}
+}
+
+func TestCorrectionPlacementInSibling(t *testing.T) {
+	l := testLayout()
+	for _, a := range []LineAddr{
+		{Channel: 0, Bank: 0, Row: 0, Slot: 0},
+		{Channel: 2, Bank: 5, Row: l.DataRows() - 1, Slot: l.SlotsPerRow - 1},
+	} {
+		loc := l.CorrectionLineOf(a)
+		if loc.Line.Bank != a.Bank^1 {
+			t.Fatalf("correction bits of %+v must live in the sibling bank, got %+v", a, loc.Line)
+		}
+		if loc.Line.Channel != a.Channel {
+			t.Fatal("correction bits must stay in the data's channel")
+		}
+		// Correction bits repurpose the TOP of the sibling's data region
+		// (§VI-B's capacity reduction), never the parity rows.
+		if loc.Line.Row < l.DataRows()-l.CorrectionRowsPerBank() || loc.Line.Row >= l.DataRows() {
+			t.Fatalf("correction bits misplaced: %+v (data rows %d, corr rows %d)",
+				loc.Line, l.DataRows(), l.CorrectionRowsPerBank())
+		}
+	}
+}
+
+func TestCapacityLossOnMark(t *testing.T) {
+	l := testLayout()
+	// ≈ 2·R of the pair's data rows are given up on marking.
+	if got := l.CapacityLossOnMark(); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("capacity loss %v, want ≈2R=0.5", got)
+	}
+}
+
+func TestCorrectionPlacementDistinct(t *testing.T) {
+	l := testLayout()
+	type key struct {
+		line    LineAddr
+		subSlot int
+	}
+	seen := map[key]LineAddr{}
+	for row := 0; row < l.DataRows(); row++ {
+		for slot := 0; slot < l.SlotsPerRow; slot++ {
+			a := LineAddr{Channel: 1, Bank: 2, Row: row, Slot: slot}
+			loc := l.CorrectionLineOf(a)
+			k := key{loc.Line, loc.SubSlot}
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("lines %+v and %+v share a correction chunk", prev, a)
+			}
+			seen[k] = a
+		}
+	}
+}
+
+func TestCorrectionRowBudget(t *testing.T) {
+	l := testLayout()
+	// 2·R·dataRows rows (plus rounding) host a bank's correction bits.
+	want := 2 * 0.25 * float64(l.DataRows())
+	got := float64(l.CorrectionRowsPerBank())
+	if got < want || got > want+2 {
+		t.Fatalf("correction rows %v, want ≈%v", got, want)
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewPhysicalLayout(1, 8, 128, 64, 64, 0.25) }, // 1 channel
+		func() { NewPhysicalLayout(4, 7, 128, 64, 64, 0.25) }, // odd banks
+		func() { NewPhysicalLayout(4, 8, 128, 64, 64, 0) },    // R=0
+		func() { NewPhysicalLayout(4, 8, 128, 64, 64, 1.5) },  // R>1
+		func() { NewPhysicalLayout(4, 8, 1, 64, 64, 0.25) },   // no room
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLayoutRAIMGeometry(t *testing.T) {
+	// R = 0.5 with 10 channels (the RAIM+Parity row of Table III).
+	l := NewPhysicalLayout(10, 8, 256, 64, 64, 0.5)
+	// One parity row per (N−1)/R = 18 data rows.
+	ratio := float64(l.DataRows()) / float64(l.ParityRows())
+	if ratio < 14 || ratio > 18.5 {
+		t.Fatalf("data:parity row ratio %.1f, want ≈18", ratio)
+	}
+	// All groups place in range.
+	for line := 0; line < l.DataRows()*l.SlotsPerRow; line++ {
+		g := GroupOf(3, line, 10, 0)
+		loc := l.ParityLineOf(g)
+		if loc.Line.Row >= l.TotalRows {
+			t.Fatalf("overflow at line %d: %+v", line, loc)
+		}
+	}
+}

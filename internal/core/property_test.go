@@ -1,0 +1,176 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eccparity/internal/ecc"
+	"eccparity/internal/faultmodel"
+)
+
+// TestPropertySingleChannelFaultsAlwaysRecoverable: for random write
+// sequences and a random single-channel device fault, every line reads
+// back exactly — the overlay's core guarantee ("the same error correction
+// coverage as provided by the underlying ECC correction bits for faults
+// within a single channel").
+func TestPropertySingleChannelFaultsAlwaysRecoverable(t *testing.T) {
+	f := func(seed int64, chRaw, bankRaw, shardRaw, mask byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSystem(Config{
+			Base:             ecc.NewLOTECC5(),
+			Channels:         4,
+			BanksPerChannel:  2,
+			RowsPerBank:      3,
+			SlotsPerRow:      3,
+			CounterThreshold: 4,
+		})
+		want := map[LineAddr][]byte{}
+		// Random writes, including overwrites.
+		for i := 0; i < 80; i++ {
+			a := LineAddr{r.Intn(4), r.Intn(2), r.Intn(3), r.Intn(3)}
+			d := make([]byte, s.LineSize())
+			r.Read(d)
+			if err := s.Write(a, d); err != nil {
+				return false
+			}
+			want[a] = d
+		}
+		if mask == 0 {
+			mask = 1
+		}
+		s.InjectFault(InjectedFault{
+			Channel: int(chRaw) % 4,
+			Bank:    int(bankRaw) % 2,
+			Row:     -1,
+			Shard:   int(shardRaw) % 4,
+			Mask:    mask,
+		})
+		for a, d := range want {
+			got, err := s.Read(a)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMarkingPreservesData: after an arbitrary fault drives a pair
+// to marked, every line in the system still reads back exactly.
+func TestPropertyMarkingPreservesData(t *testing.T) {
+	f := func(seed int64, shardRaw, mask byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSystem(Config{
+			Base:             ecc.NewRAIMParity(),
+			Channels:         5,
+			BanksPerChannel:  2,
+			RowsPerBank:      5,
+			SlotsPerRow:      2,
+			CounterThreshold: 2,
+		})
+		want := map[LineAddr][]byte{}
+		for ch := 0; ch < 5; ch++ {
+			for b := 0; b < 2; b++ {
+				for row := 0; row < 5; row++ {
+					for slot := 0; slot < 2; slot++ {
+						a := LineAddr{ch, b, row, slot}
+						d := make([]byte, s.LineSize())
+						r.Read(d)
+						if s.Write(a, d) != nil {
+							return false
+						}
+						want[a] = d
+					}
+				}
+			}
+		}
+		if mask == 0 {
+			mask = 1
+		}
+		s.InjectFault(InjectedFault{Channel: 1, Bank: 0, Row: -1, Shard: int(shardRaw) % 4, Mask: mask})
+		s.Scrub() // drives detection → retirement → marking
+		for a, d := range want {
+			got, err := s.Read(a)
+			if err != nil || !bytes.Equal(got, d) {
+				return false
+			}
+		}
+		return s.Health().IsMarked(1, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifetimeIntegration drives the functional system with a fault
+// sequence sampled from the faultmodel package — the cross-module path the
+// faultinjection example demonstrates, asserted end to end.
+func TestLifetimeIntegration(t *testing.T) {
+	const channels = 4
+	s := NewSystem(Config{
+		Base:             ecc.NewLOTECC5(),
+		Channels:         channels,
+		BanksPerChannel:  8,
+		RowsPerBank:      4,
+		SlotsPerRow:      2,
+		CounterThreshold: 4,
+	})
+	r := rand.New(rand.NewSource(77))
+	want := map[LineAddr][]byte{}
+	for ch := 0; ch < channels; ch++ {
+		for b := 0; b < 8; b++ {
+			for row := 0; row < 4; row++ {
+				for slot := 0; slot < 2; slot++ {
+					a := LineAddr{ch, b, row, slot}
+					d := make([]byte, s.LineSize())
+					r.Read(d)
+					if err := s.Write(a, d); err != nil {
+						t.Fatal(err)
+					}
+					want[a] = d
+				}
+			}
+		}
+	}
+
+	topo := faultmodel.Topology{Channels: channels, RanksPerChannel: 1, ChipsPerRank: 5, BanksPerRank: 8}
+	model := faultmodel.NewModel(topo, faultmodel.DefaultRates().Scaled(4000), 3)
+	faults := model.SampleLifetime(7 * faultmodel.HoursPerYear)
+	if len(faults) == 0 {
+		t.Skip("no faults sampled at this seed/rate")
+	}
+	usedChannels := map[int]bool{}
+	for _, f := range faults {
+		if usedChannels[f.Channel] {
+			continue // keep the scenario within single-channel-per-location coverage
+		}
+		usedChannels[f.Channel] = true
+		inj := InjectedFault{Channel: f.Channel, Bank: f.Bank, Row: -1, Shard: f.Chip % 4, Mask: byte(1 + r.Intn(255))}
+		if !f.Type.IsLarge() {
+			inj.Row = r.Intn(4)
+		}
+		s.InjectFault(inj)
+		s.Scrub()
+	}
+	// Every line must still read back exactly; no data loss.
+	for a, d := range want {
+		got, err := s.Read(a)
+		if err != nil {
+			t.Fatalf("read %+v after lifetime: %v", a, err)
+		}
+		if !bytes.Equal(got, d) {
+			t.Fatalf("data loss at %+v", a)
+		}
+	}
+	if s.Stats.Uncorrectable != 0 {
+		t.Fatalf("uncorrectable events: %d", s.Stats.Uncorrectable)
+	}
+}

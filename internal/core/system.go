@@ -1,0 +1,432 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"eccparity/internal/ecc"
+)
+
+// Config assembles a functional ECC-Parity memory system.
+type Config struct {
+	// Base is the underlying ECC whose correction bits are XOR-shared.
+	Base ecc.Scheme
+	// Channels is N, the number of channels sharing parities.
+	Channels int
+	// BanksPerChannel is the rank-level bank count per channel (even).
+	BanksPerChannel int
+	// RowsPerBank and SlotsPerRow bound the data address space; one row is
+	// one 4KB physical page.
+	RowsPerBank int
+	SlotsPerRow int
+	// CounterThreshold is the bank-pair error count that triggers
+	// materializing correction bits (the paper uses 4).
+	CounterThreshold uint8
+}
+
+// LineAddr locates one data line.
+type LineAddr struct {
+	Channel, Bank, Row, Slot int
+}
+
+// PageKey identifies a physical page (one DRAM row).
+type PageKey struct {
+	Channel, Bank, Row int
+}
+
+// Page returns the page containing the line.
+func (a LineAddr) Page() PageKey { return PageKey{a.Channel, a.Bank, a.Row} }
+
+// lineIndex flattens (row, slot) into the per-bank line index used by the
+// parity grouping.
+func (a LineAddr) lineIndex(slotsPerRow int) int { return a.Row*slotsPerRow + a.Slot }
+
+// InjectedFault is a persistent hardware fault: reads of matching lines see
+// the given shard XORed with Mask. Writes do not clear it — exactly like a
+// stuck device.
+type InjectedFault struct {
+	Channel int
+	Bank    int
+	Row     int // -1 matches every row in the bank (a bank-level fault)
+	Shard   int // codeword shard (device / DIMM group) affected
+	Mask    byte
+}
+
+// Stats counts the overlay's fault-handling activity.
+type Stats struct {
+	Reads            uint64
+	Writes           uint64
+	ErrorsDetected   uint64
+	ErrorsCorrected  uint64
+	Reconstructions  uint64 // correction bits rebuilt from ECC parity
+	StoredBitsUses   uint64 // correction bits served from materialized store
+	PagesRetired     uint64
+	PairsMarked      uint64
+	Uncorrectable    uint64
+	PeerDirtyAborts  uint64 // reconstructions foiled by a faulty peer channel
+	ScrubErrorsFound uint64
+}
+
+// System is the functional overlay: it stores real encoded lines, maintains
+// real parities, and corrects real injected faults.
+type System struct {
+	cfg    Config
+	scheme ecc.Scheme
+	health *HealthTable
+
+	store   map[LineAddr]*ecc.Codeword // clean encoded lines as written
+	parity  map[GroupKey][]byte        // ECC parities (XOR of correction bits)
+	corr    map[LineAddr][]byte        // materialized correction bits
+	faults  []InjectedFault
+	retired map[PageKey]bool
+
+	Stats Stats
+}
+
+// Errors returned by the functional system.
+var (
+	ErrUnwritten     = errors.New("core: line never written")
+	ErrUncorrectable = errors.New("core: uncorrectable error")
+	ErrBadAddress    = errors.New("core: address out of range")
+)
+
+// NewSystem builds a functional system.
+func NewSystem(cfg Config) *System {
+	if cfg.Channels < 2 {
+		panic("core: ECC Parity requires at least two channels")
+	}
+	if cfg.CounterThreshold == 0 {
+		cfg.CounterThreshold = 4
+	}
+	return &System{
+		cfg:     cfg,
+		scheme:  cfg.Base,
+		health:  NewHealthTable(cfg.Channels, cfg.BanksPerChannel, cfg.CounterThreshold),
+		store:   make(map[LineAddr]*ecc.Codeword),
+		parity:  make(map[GroupKey][]byte),
+		corr:    make(map[LineAddr][]byte),
+		retired: make(map[PageKey]bool),
+	}
+}
+
+// Health exposes the bank-pair health table.
+func (s *System) Health() *HealthTable { return s.health }
+
+// LineSize returns the data line size in bytes.
+func (s *System) LineSize() int { return s.scheme.Geometry().LineSize }
+
+// Retired reports whether a page has been retired by the OS.
+func (s *System) Retired(p PageKey) bool { return s.retired[p] }
+
+func (s *System) checkAddr(a LineAddr) error {
+	if a.Channel < 0 || a.Channel >= s.cfg.Channels ||
+		a.Bank < 0 || a.Bank >= s.cfg.BanksPerChannel ||
+		a.Row < 0 || a.Row >= s.cfg.RowsPerBank ||
+		a.Slot < 0 || a.Slot >= s.cfg.SlotsPerRow {
+		return fmt.Errorf("%w: %+v", ErrBadAddress, a)
+	}
+	return nil
+}
+
+// group returns the parity group of a line.
+func (s *System) group(a LineAddr) GroupKey {
+	return GroupOf(a.Channel, a.lineIndex(s.cfg.SlotsPerRow), s.cfg.Channels, a.Bank)
+}
+
+// InjectFault adds a persistent hardware fault.
+func (s *System) InjectFault(f InjectedFault) {
+	s.faults = append(s.faults, f)
+}
+
+// ClearFaults removes all injected faults (end of a test scenario).
+func (s *System) ClearFaults() { s.faults = nil }
+
+// readRaw returns the codeword as the memory controller would see it: the
+// stored bits distorted by every matching injected fault.
+func (s *System) readRaw(a LineAddr) (*ecc.Codeword, bool) {
+	stored, ok := s.store[a]
+	if !ok {
+		return nil, false
+	}
+	cw := stored
+	cloned := false
+	for _, f := range s.faults {
+		if f.Channel == a.Channel && f.Bank == a.Bank && (f.Row == -1 || f.Row == a.Row) {
+			if !cloned {
+				cw = cw.Clone()
+				cloned = true
+			}
+			cw.XorChip(f.Shard, f.Mask)
+		}
+	}
+	return cw, true
+}
+
+// Write stores a data line, updating either the materialized correction
+// bits (faulty bank, step D of Fig. 6) or the ECC parity via
+// ECCPnew = ECCPold ⊕ ECCold ⊕ ECCnew (healthy bank, step E / Eq. 1).
+func (s *System) Write(a LineAddr, data []byte) error {
+	if err := s.checkAddr(a); err != nil {
+		return err
+	}
+	if len(data) != s.LineSize() {
+		return fmt.Errorf("core: line size %d, want %d", len(data), s.LineSize())
+	}
+	s.Stats.Writes++
+	corrNew := s.scheme.CorrectionBits(data)
+	var corrOld []byte
+	if old, ok := s.store[a]; ok {
+		corrOld = s.scheme.CorrectionBits(s.scheme.Data(old))
+	}
+	cw, _ := s.scheme.Encode(data)
+	s.store[a] = cw
+
+	if s.health.IsMarked(a.Channel, a.Bank) {
+		s.corr[a] = corrNew
+		return nil
+	}
+	g := s.group(a)
+	p, ok := s.parity[g]
+	if !ok {
+		p = make([]byte, s.scheme.CorrectionSize())
+		s.parity[g] = p
+	}
+	for i := range p {
+		p[i] ^= corrNew[i]
+		if corrOld != nil {
+			p[i] ^= corrOld[i]
+		}
+	}
+	return nil
+}
+
+// Read returns the corrected data of a line, exercising the full Fig. 6
+// flow: detection on the critical path, then — only if an error is
+// detected — correction bits from the materialized store (marked banks) or
+// reconstructed from the ECC parity and the peer channels.
+func (s *System) Read(a LineAddr) ([]byte, error) {
+	if err := s.checkAddr(a); err != nil {
+		return nil, err
+	}
+	s.Stats.Reads++
+	cw, ok := s.readRaw(a)
+	if !ok {
+		return nil, ErrUnwritten
+	}
+	if det := s.scheme.Detect(cw); !det.ErrorDetected {
+		return s.scheme.Data(cw), nil
+	}
+	s.Stats.ErrorsDetected++
+
+	bits, err := s.correctionBitsFor(a)
+	if err != nil {
+		s.Stats.Uncorrectable++
+		return nil, err
+	}
+	data, _, err := s.scheme.Correct(cw, bits)
+	if err != nil {
+		s.Stats.Uncorrectable++
+		return nil, fmt.Errorf("%w: %v", ErrUncorrectable, err)
+	}
+	s.Stats.ErrorsCorrected++
+	s.noteError(a)
+	return data, nil
+}
+
+// correctionBitsFor fetches or reconstructs a line's ECC correction bits.
+func (s *System) correctionBitsFor(a LineAddr) ([]byte, error) {
+	if s.health.IsMarked(a.Channel, a.Bank) {
+		bits, ok := s.corr[a]
+		if !ok {
+			return nil, fmt.Errorf("%w: no stored correction bits for %+v", ErrUncorrectable, a)
+		}
+		s.Stats.StoredBitsUses++
+		return bits, nil
+	}
+	return s.reconstruct(a)
+}
+
+// reconstruct rebuilds the correction bits of line a from its group's ECC
+// parity XORed with the correction bits of every peer line, which are
+// computed directly from the peers' (error-free) data (§III-A).
+func (s *System) reconstruct(a LineAddr) ([]byte, error) {
+	g := s.group(a)
+	bits := make([]byte, s.scheme.CorrectionSize())
+	if p, ok := s.parity[g]; ok {
+		copy(bits, p)
+	}
+	for _, c := range g.Peers(s.cfg.Channels) {
+		if c == a.Channel {
+			continue
+		}
+		if s.health.IsMarked(c, g.Bank) {
+			// A marked peer's contribution was stripped from the parity
+			// when its pair transitioned to stored correction bits, so it
+			// no longer participates — this is what restores correction
+			// coverage after a second channel fails at the same location.
+			continue
+		}
+		idx, contributes := g.MemberLine(c, s.cfg.Channels)
+		if !contributes {
+			continue
+		}
+		peer := LineAddr{Channel: c, Bank: g.Bank, Row: idx / s.cfg.SlotsPerRow, Slot: idx % s.cfg.SlotsPerRow}
+		cw, ok := s.readRaw(peer)
+		if !ok {
+			continue // unwritten peer contributed zeros to the parity
+		}
+		if det := s.scheme.Detect(cw); det.ErrorDetected {
+			// A second channel is faulty at the same relative location:
+			// the parity cannot isolate either channel's bits.
+			s.Stats.PeerDirtyAborts++
+			return nil, fmt.Errorf("%w: peer channel %d also faulty", ErrUncorrectable, c)
+		}
+		peerBits := s.scheme.CorrectionBits(s.scheme.Data(cw))
+		for i := range bits {
+			bits[i] ^= peerBits[i]
+		}
+	}
+	s.Stats.Reconstructions++
+	return bits, nil
+}
+
+// noteError performs the §III-C response to a corrected error: bump the
+// bank pair's counter; below threshold, retire the page and every page
+// sharing its ECC parities; at threshold, transition the pair to stored
+// correction bits.
+func (s *System) noteError(a LineAddr) {
+	if s.health.IsMarked(a.Channel, a.Bank) {
+		return
+	}
+	if s.retired[a.Page()] {
+		// The OS already retired this page; a permanent bit/row fault must
+		// not keep incrementing the counter (§III-C).
+		return
+	}
+	crossed := s.health.RecordError(a.Channel, a.Bank)
+	if crossed {
+		s.markPair(a.Channel, a.Bank)
+		return
+	}
+	s.retirePageGroup(a)
+}
+
+// retirePageGroup retires the faulty page plus the peer pages protected by
+// the same parities.
+func (s *System) retirePageGroup(a LineAddr) {
+	s.retire(a.Page())
+	g := s.group(a)
+	for _, c := range g.Peers(s.cfg.Channels) {
+		if c == a.Channel {
+			continue
+		}
+		idx, contributes := g.MemberLine(c, s.cfg.Channels)
+		if !contributes {
+			continue
+		}
+		s.retire(PageKey{Channel: c, Bank: g.Bank, Row: idx / s.cfg.SlotsPerRow})
+	}
+}
+
+func (s *System) retire(p PageKey) {
+	if !s.retired[p] {
+		s.retired[p] = true
+		s.Stats.PagesRetired++
+	}
+}
+
+// markPair transitions both banks of the pair containing `bank` to stored
+// correction bits (§III-B): reconstruct every line's correction bits (the
+// bank is faulty, so its lines go through the parity path), store them,
+// and strip the banks' contributions from every parity they touched.
+func (s *System) markPair(channel, bank int) {
+	b0 := bank &^ 1
+	s.health.Mark(channel, b0)
+	s.Stats.PairsMarked++
+
+	for _, b := range []int{b0, b0 + 1} {
+		for _, a := range s.linesIn(channel, b) {
+			stored := s.store[a]
+			// Materialize the line's correction bits. If the stored (clean)
+			// copy decodes fine against a fresh read, prefer deriving the
+			// bits from corrected data; reconstruction handles the faulty
+			// case.
+			cw, _ := s.readRaw(a)
+			var data []byte
+			if det := s.scheme.Detect(cw); !det.ErrorDetected {
+				data = s.scheme.Data(cw)
+			} else if bits, err := s.reconstruct(a); err == nil {
+				if d, _, cerr := s.scheme.Correct(cw, bits); cerr == nil {
+					data = d
+				}
+			}
+			if data == nil {
+				// Unrecoverable at marking time; fall back to the stored
+				// clean copy (the write path keeps it) so future reads can
+				// still correct against it.
+				data = s.scheme.Data(stored)
+			}
+			s.corr[a] = s.scheme.CorrectionBits(data)
+
+			// Remove this line's contribution from its parity group, using
+			// the clean stored value that was added at write time.
+			g := s.group(a)
+			if p, ok := s.parity[g]; ok {
+				bits := s.scheme.CorrectionBits(s.scheme.Data(stored))
+				for i := range p {
+					p[i] ^= bits[i]
+				}
+			}
+		}
+	}
+}
+
+// linesIn returns the written lines of one bank in deterministic order.
+func (s *System) linesIn(channel, bank int) []LineAddr {
+	var out []LineAddr
+	for a := range s.store {
+		if a.Channel == channel && a.Bank == bank {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Row != out[j].Row {
+			return out[i].Row < out[j].Row
+		}
+		return out[i].Slot < out[j].Slot
+	})
+	return out
+}
+
+// Scrub walks every written line, reading (and therefore detecting and
+// correcting) each, as the periodic scrubber of §III-C does. It returns
+// the number of erroneous lines encountered.
+func (s *System) Scrub() (errorsFound int, uncorrectable int) {
+	addrs := make([]LineAddr, 0, len(s.store))
+	for a := range s.store {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		ai, aj := addrs[i], addrs[j]
+		if ai.Channel != aj.Channel {
+			return ai.Channel < aj.Channel
+		}
+		if ai.Bank != aj.Bank {
+			return ai.Bank < aj.Bank
+		}
+		if ai.Row != aj.Row {
+			return ai.Row < aj.Row
+		}
+		return ai.Slot < aj.Slot
+	})
+	before := s.Stats.ErrorsDetected
+	for _, a := range addrs {
+		if _, err := s.Read(a); err != nil && errors.Is(err, ErrUncorrectable) {
+			uncorrectable++
+		}
+	}
+	errorsFound = int(s.Stats.ErrorsDetected - before)
+	s.Stats.ScrubErrorsFound += uint64(errorsFound)
+	return errorsFound, uncorrectable
+}

@@ -1,0 +1,499 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"eccparity/internal/ecc"
+)
+
+func lot5System() *System {
+	return NewSystem(Config{
+		Base:             ecc.NewLOTECC5(),
+		Channels:         4,
+		BanksPerChannel:  4,
+		RowsPerBank:      8,
+		SlotsPerRow:      6,
+		CounterThreshold: 4,
+	})
+}
+
+func fillSystem(t *testing.T, s *System, seed int64) map[LineAddr][]byte {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	want := map[LineAddr][]byte{}
+	for ch := 0; ch < s.cfg.Channels; ch++ {
+		for b := 0; b < s.cfg.BanksPerChannel; b++ {
+			for row := 0; row < s.cfg.RowsPerBank; row++ {
+				for slot := 0; slot < s.cfg.SlotsPerRow; slot++ {
+					a := LineAddr{ch, b, row, slot}
+					d := make([]byte, s.LineSize())
+					r.Read(d)
+					if err := s.Write(a, d); err != nil {
+						t.Fatalf("write %+v: %v", a, err)
+					}
+					want[a] = d
+				}
+			}
+		}
+	}
+	return want
+}
+
+func verifyAll(t *testing.T, s *System, want map[LineAddr][]byte) {
+	t.Helper()
+	for a, d := range want {
+		got, err := s.Read(a)
+		if err != nil {
+			t.Fatalf("read %+v: %v", a, err)
+		}
+		if !bytes.Equal(got, d) {
+			t.Fatalf("read %+v: wrong data", a)
+		}
+	}
+}
+
+func TestCleanRoundTrip(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 1)
+	verifyAll(t, s, want)
+	if s.Stats.ErrorsDetected != 0 || s.Stats.Reconstructions != 0 {
+		t.Fatalf("clean system performed corrections: %+v", s.Stats)
+	}
+}
+
+func TestUnwrittenLine(t *testing.T) {
+	s := lot5System()
+	if _, err := s.Read(LineAddr{0, 0, 0, 0}); !errors.Is(err, ErrUnwritten) {
+		t.Fatalf("want ErrUnwritten, got %v", err)
+	}
+}
+
+func TestBadAddressRejected(t *testing.T) {
+	s := lot5System()
+	if _, err := s.Read(LineAddr{9, 0, 0, 0}); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want ErrBadAddress, got %v", err)
+	}
+	if err := s.Write(LineAddr{0, 0, 99, 0}, make([]byte, s.LineSize())); !errors.Is(err, ErrBadAddress) {
+		t.Fatalf("want ErrBadAddress, got %v", err)
+	}
+	if err := s.Write(LineAddr{0, 0, 0, 0}, make([]byte, 3)); err == nil {
+		t.Fatal("short line accepted")
+	}
+}
+
+// TestChipFaultCorrectedViaParity is the headline property: a device fault
+// in one channel is corrected by reconstructing the line's correction bits
+// from the ECC parity and the peer channels — no correction bits were ever
+// stored for this line.
+func TestChipFaultCorrectedViaParity(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 2)
+	s.InjectFault(InjectedFault{Channel: 1, Bank: 2, Row: 3, Shard: 0, Mask: 0x5A})
+
+	a := LineAddr{1, 2, 3, 4}
+	got, err := s.Read(a)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, want[a]) {
+		t.Fatal("wrong data after parity reconstruction")
+	}
+	if s.Stats.Reconstructions == 0 {
+		t.Fatal("correction did not use parity reconstruction")
+	}
+	if s.Stats.StoredBitsUses != 0 {
+		t.Fatal("no correction bits should be stored yet")
+	}
+}
+
+// TestParityTracksOverwrites: Eq. 1 (ECCPnew = ECCPold ⊕ ECCold ⊕ ECCnew)
+// must keep parities exact across arbitrary overwrite sequences.
+func TestParityTracksOverwrites(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 3)
+	r := rand.New(rand.NewSource(33))
+	// Overwrite many lines several times.
+	for i := 0; i < 200; i++ {
+		a := LineAddr{r.Intn(4), r.Intn(4), r.Intn(8), r.Intn(6)}
+		d := make([]byte, s.LineSize())
+		r.Read(d)
+		if err := s.Write(a, d); err != nil {
+			t.Fatal(err)
+		}
+		want[a] = d
+	}
+	// Now break a chip and verify reconstruction still works everywhere in
+	// the faulty bank.
+	s.InjectFault(InjectedFault{Channel: 2, Bank: 1, Row: -1, Shard: 1, Mask: 0xC3})
+	for slot := 0; slot < 6; slot++ {
+		for row := 0; row < 8; row++ {
+			a := LineAddr{2, 1, row, slot}
+			got, err := s.Read(a)
+			if err != nil {
+				t.Fatalf("read %+v: %v", a, err)
+			}
+			if !bytes.Equal(got, want[a]) {
+				t.Fatalf("wrong data at %+v after overwrites", a)
+			}
+		}
+	}
+}
+
+// TestTwoChannelsSameLocationUncorrectable: the documented limitation —
+// parities cannot isolate two channels faulty at the same relative
+// location (before any bank is marked).
+func TestTwoChannelsSameLocationUncorrectable(t *testing.T) {
+	s := lot5System()
+	fillSystem(t, s, 4)
+	s.InjectFault(InjectedFault{Channel: 0, Bank: 0, Row: 0, Shard: 0, Mask: 0x11})
+	s.InjectFault(InjectedFault{Channel: 1, Bank: 0, Row: 0, Shard: 0, Mask: 0x22})
+
+	// A line in channel 0 whose parity group includes the channel-1 line
+	// at the same location will fail to reconstruct. Scan the faulty row:
+	// at least one line must hit the dirty-peer abort.
+	var aborted bool
+	for slot := 0; slot < 6; slot++ {
+		_, err := s.Read(LineAddr{0, 0, 0, slot})
+		if err != nil && errors.Is(err, ErrUncorrectable) {
+			aborted = true
+		}
+	}
+	if !aborted {
+		t.Fatal("overlapping two-channel fault must be uncorrectable somewhere")
+	}
+	if s.Stats.PeerDirtyAborts == 0 {
+		t.Fatal("dirty-peer abort not recorded")
+	}
+}
+
+// TestTwoChannelsDifferentLocationsBothCorrectable: faults in different
+// channels at different relative locations retain full coverage.
+func TestTwoChannelsDifferentLocationsBothCorrectable(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 5)
+	s.InjectFault(InjectedFault{Channel: 0, Bank: 0, Row: 1, Shard: 0, Mask: 0x11})
+	s.InjectFault(InjectedFault{Channel: 3, Bank: 2, Row: 5, Shard: 2, Mask: 0x44})
+	for _, a := range []LineAddr{{0, 0, 1, 2}, {3, 2, 5, 0}} {
+		got, err := s.Read(a)
+		if err != nil {
+			t.Fatalf("read %+v: %v", a, err)
+		}
+		if !bytes.Equal(got, want[a]) {
+			t.Fatalf("wrong data at %+v", a)
+		}
+	}
+}
+
+// TestPageRetirementBelowThreshold: small-fault errors retire the page and
+// its parity-sharing peers without marking the pair.
+func TestPageRetirementBelowThreshold(t *testing.T) {
+	s := lot5System()
+	fillSystem(t, s, 6)
+	s.InjectFault(InjectedFault{Channel: 1, Bank: 0, Row: 2, Shard: 0, Mask: 0x08})
+	a := LineAddr{1, 0, 2, 0}
+	if _, err := s.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Retired(a.Page()) {
+		t.Fatal("faulty page not retired")
+	}
+	if s.Stats.PagesRetired < 2 {
+		t.Fatalf("peer pages sharing the parity must also retire, got %d", s.Stats.PagesRetired)
+	}
+	if s.Health().IsMarked(1, 0) {
+		t.Fatal("single error must not mark the pair")
+	}
+	// Re-reading the same retired page must not advance the counter.
+	before := s.Health().Counter(1, 0)
+	if _, err := s.Read(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Health().Counter(1, 0) != before {
+		t.Fatal("retired page kept incrementing the counter")
+	}
+}
+
+// TestBankFaultMarksPairAndMaterializes: a bank-level fault produces errors
+// in many pages; the counter saturates, the pair is marked, correction bits
+// are materialized, and subsequent reads use them (no more reconstruction).
+func TestBankFaultMarksPairAndMaterializes(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 7)
+	s.InjectFault(InjectedFault{Channel: 2, Bank: 2, Row: -1, Shard: 3, Mask: 0x99})
+
+	// Touch errors in enough distinct pages to saturate the counter.
+	for row := 0; row < 4; row++ {
+		if _, err := s.Read(LineAddr{2, 2, row, 0}); err != nil {
+			t.Fatalf("row %d: %v", row, err)
+		}
+	}
+	if !s.Health().IsMarked(2, 2) || !s.Health().IsMarked(2, 3) {
+		t.Fatal("bank pair must be marked after threshold errors")
+	}
+	if s.Stats.PairsMarked != 1 {
+		t.Fatalf("pairs marked %d", s.Stats.PairsMarked)
+	}
+
+	// All data in the marked banks must decode via stored correction bits.
+	recBefore := s.Stats.Reconstructions
+	usesBefore := s.Stats.StoredBitsUses
+	for row := 0; row < 8; row++ {
+		for slot := 0; slot < 6; slot++ {
+			a := LineAddr{2, 2, row, slot}
+			got, err := s.Read(a)
+			if err != nil {
+				t.Fatalf("read %+v: %v", a, err)
+			}
+			if !bytes.Equal(got, want[a]) {
+				t.Fatalf("wrong data at %+v after marking", a)
+			}
+		}
+	}
+	if s.Stats.Reconstructions != recBefore {
+		t.Fatal("marked bank reads must not reconstruct from parity")
+	}
+	if s.Stats.StoredBitsUses == usesBefore {
+		t.Fatal("marked bank reads must use stored correction bits")
+	}
+}
+
+// TestSecondChannelFaultAfterMarking is the paper's motivation for
+// materializing correction bits: once channel A's faulty pair is marked and
+// excluded from the parities, a LATER fault in channel B at the same
+// relative location is still correctable — B reconstructs from parities
+// that no longer involve A, and A uses its stored bits.
+func TestSecondChannelFaultAfterMarking(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 8)
+
+	// Fault 1: bank fault in channel 0, bank 0. Saturate and mark.
+	s.InjectFault(InjectedFault{Channel: 0, Bank: 0, Row: -1, Shard: 0, Mask: 0x77})
+	for row := 0; row < 4; row++ {
+		if _, err := s.Read(LineAddr{0, 0, row, 1}); err != nil {
+			t.Fatalf("marking phase: %v", err)
+		}
+	}
+	if !s.Health().IsMarked(0, 0) {
+		t.Fatal("pair not marked")
+	}
+
+	// Fault 2: later, channel 1 fails at the same bank/rows.
+	s.InjectFault(InjectedFault{Channel: 1, Bank: 0, Row: -1, Shard: 1, Mask: 0xEE})
+
+	// Both channels' data must still be fully recoverable.
+	for row := 0; row < 8; row++ {
+		for slot := 0; slot < 6; slot++ {
+			for _, ch := range []int{0, 1} {
+				a := LineAddr{ch, 0, row, slot}
+				got, err := s.Read(a)
+				if err != nil {
+					t.Fatalf("read %+v: %v", a, err)
+				}
+				if !bytes.Equal(got, want[a]) {
+					t.Fatalf("wrong data at %+v", a)
+				}
+			}
+		}
+	}
+}
+
+// TestWritesToMarkedBankUpdateStoredBits: step D of Fig. 6.
+func TestWritesToMarkedBankUpdateStoredBits(t *testing.T) {
+	s := lot5System()
+	fillSystem(t, s, 9)
+	s.InjectFault(InjectedFault{Channel: 3, Bank: 0, Row: -1, Shard: 0, Mask: 0x3C})
+	for row := 0; row < 4; row++ {
+		if _, err := s.Read(LineAddr{3, 0, row, 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Health().IsMarked(3, 0) {
+		t.Fatal("pair not marked")
+	}
+	// Overwrite a line in the marked bank; the new data must be
+	// recoverable through the fault.
+	a := LineAddr{3, 0, 5, 5}
+	newData := bytes.Repeat([]byte{0xAB}, s.LineSize())
+	if err := s.Write(a, newData); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, newData) {
+		t.Fatal("overwrite in marked bank lost")
+	}
+}
+
+// TestScrubFindsAndHandlesErrors: the periodic scrubber drives the same
+// error-handling machinery.
+func TestScrubFindsAndHandlesErrors(t *testing.T) {
+	s := lot5System()
+	fillSystem(t, s, 10)
+	found, unc := s.Scrub()
+	if found != 0 || unc != 0 {
+		t.Fatalf("clean scrub found %d/%d", found, unc)
+	}
+	s.InjectFault(InjectedFault{Channel: 0, Bank: 2, Row: -1, Shard: 2, Mask: 0x42})
+	found, unc = s.Scrub()
+	if found == 0 {
+		t.Fatal("scrub missed a bank fault")
+	}
+	if unc != 0 {
+		t.Fatalf("scrub hit %d uncorrectable lines", unc)
+	}
+	if !s.Health().IsMarked(0, 2) {
+		t.Fatal("scrub must drive the pair to marked")
+	}
+}
+
+// TestRAIMParityBase runs the core scenario with the DIMM-kill base scheme,
+// exercising the overlay's scheme-independence (it is "a general
+// optimization that can be applied on top of diverse memory ECCs").
+func TestRAIMParityBase(t *testing.T) {
+	s := NewSystem(Config{
+		Base:             ecc.NewRAIMParity(),
+		Channels:         5,
+		BanksPerChannel:  2,
+		RowsPerBank:      4,
+		SlotsPerRow:      4,
+		CounterThreshold: 4,
+	})
+	want := fillSystem(t, s, 11)
+	// Kill one DIMM group in one channel.
+	s.InjectFault(InjectedFault{Channel: 4, Bank: 1, Row: -1, Shard: 2, Mask: 0xF0})
+	for row := 0; row < 4; row++ {
+		for slot := 0; slot < 4; slot++ {
+			a := LineAddr{4, 1, row, slot}
+			got, err := s.Read(a)
+			if err != nil {
+				t.Fatalf("read %+v: %v", a, err)
+			}
+			if !bytes.Equal(got, want[a]) {
+				t.Fatalf("wrong data at %+v", a)
+			}
+		}
+	}
+	if s.Stats.Reconstructions == 0 {
+		t.Fatal("expected parity reconstructions")
+	}
+}
+
+// TestChipkill36Base checks the overlay over the commercial chipkill code.
+func TestChipkill36Base(t *testing.T) {
+	s := NewSystem(Config{
+		Base:             ecc.NewChipkill36(),
+		Channels:         3,
+		BanksPerChannel:  2,
+		RowsPerBank:      2,
+		SlotsPerRow:      4,
+		CounterThreshold: 4,
+	})
+	want := fillSystem(t, s, 12)
+	s.InjectFault(InjectedFault{Channel: 1, Bank: 0, Row: 1, Shard: 7, Mask: 0x21})
+	a := LineAddr{1, 0, 1, 2}
+	got, err := s.Read(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want[a]) {
+		t.Fatal("wrong data")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := lot5System()
+	want := fillSystem(t, s, 13)
+	if s.Stats.Writes != uint64(len(want)) {
+		t.Fatalf("writes %d, want %d", s.Stats.Writes, len(want))
+	}
+	n := s.Stats.Reads
+	verifyAll(t, s, want)
+	if s.Stats.Reads != n+uint64(len(want)) {
+		t.Fatal("read count wrong")
+	}
+}
+
+// TestDoubleChipkillBase: the overlay over a double-chipkill base ECC
+// corrects TWO simultaneously dead devices in one channel via parity
+// reconstruction — the "double chipkill correct" generality the paper
+// claims for the technique.
+func TestDoubleChipkillBase(t *testing.T) {
+	s := NewSystem(Config{
+		Base:             ecc.NewDoubleChipkill(),
+		Channels:         4,
+		BanksPerChannel:  2,
+		RowsPerBank:      2,
+		SlotsPerRow:      3,
+		CounterThreshold: 4,
+	})
+	want := fillSystem(t, s, 14)
+	s.InjectFault(InjectedFault{Channel: 2, Bank: 1, Row: -1, Shard: 3, Mask: 0x17})
+	s.InjectFault(InjectedFault{Channel: 2, Bank: 1, Row: -1, Shard: 21, Mask: 0xE4})
+	for row := 0; row < 2; row++ {
+		for slot := 0; slot < 3; slot++ {
+			a := LineAddr{2, 1, row, slot}
+			got, err := s.Read(a)
+			if err != nil {
+				t.Fatalf("read %+v: %v", a, err)
+			}
+			if !bytes.Equal(got, want[a]) {
+				t.Fatalf("wrong data at %+v", a)
+			}
+		}
+	}
+	if s.Stats.Reconstructions == 0 {
+		t.Fatal("expected parity reconstructions")
+	}
+}
+
+func BenchmarkOverlayWrite(b *testing.B) {
+	s := lot5System()
+	d := make([]byte, s.LineSize())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := LineAddr{i % 4, (i / 4) % 4, (i / 16) % 8, (i / 128) % 6}
+		if err := s.Write(a, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlayCleanRead(b *testing.B) {
+	s := lot5System()
+	d := make([]byte, s.LineSize())
+	a := LineAddr{1, 1, 1, 1}
+	if err := s.Write(a, d); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlayReconstruction(b *testing.B) {
+	s := lot5System()
+	d := make([]byte, s.LineSize())
+	for ch := 0; ch < 4; ch++ {
+		for slot := 0; slot < 6; slot++ {
+			if err := s.Write(LineAddr{ch, 0, 0, slot}, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	s.InjectFault(InjectedFault{Channel: 2, Bank: 0, Row: 0, Shard: 0, Mask: 0x42})
+	a := LineAddr{2, 0, 0, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

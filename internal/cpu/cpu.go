@@ -1,0 +1,119 @@
+// Package cpu models the processor cores of Table I: two-issue out-of-order
+// cores with a 64-entry ROB and 32/32 LSQ. The model is a bounded-MLP
+// abstraction: a core executes compute instructions at its issue width,
+// overlaps up to MaxOutstanding memory-level-parallel misses, and stalls
+// when the miss window (the ROB's capacity to slide past outstanding loads)
+// is full. Stores retire into the write path without stalling the core.
+//
+// This is the coupling the paper's evaluation actually exercises: memory
+// latency and bandwidth throttle instruction throughput; everything else
+// about the pipeline is irrelevant to the memory-system comparison.
+package cpu
+
+// Params mirrors Table I.
+type Params struct {
+	IssueWidth     int     // issue slots per cycle
+	BaseCPI        float64 // dependency-limited cycles per instruction
+	MaxOutstanding int     // concurrent misses a core can tolerate (bounded MLP)
+	LLCHitCycles   int     // hit latency charged when the miss window is full
+}
+
+// DefaultParams returns the paper's core configuration: 2-wide, ROB 64,
+// LSQ 32/32. A 64-entry ROB with a 32-entry load queue sustains roughly
+// eight overlapped misses. Although the machine can issue two instructions
+// per cycle, dependent chains hold SPEC-class code near one instruction
+// per cycle outside of memory stalls, which BaseCPI captures.
+func DefaultParams() Params {
+	return Params{IssueWidth: 2, BaseCPI: 1.0, MaxOutstanding: 8, LLCHitCycles: 10}
+}
+
+// Core is one core's timing state. The zero value is not usable; use New.
+type Core struct {
+	p            Params
+	time         float64
+	instructions uint64
+	// outstanding holds completion times of in-flight misses, oldest first.
+	outstanding []float64
+	// StallCycles accumulates time spent blocked on the miss window.
+	StallCycles float64
+}
+
+// New builds a core.
+func New(p Params) *Core {
+	return &Core{p: p, outstanding: make([]float64, 0, p.MaxOutstanding)}
+}
+
+// Time returns the core-local clock in cycles.
+func (c *Core) Time() float64 { return c.time }
+
+// Instructions returns the retired instruction count.
+func (c *Core) Instructions() uint64 { return c.instructions }
+
+// AdvanceCompute retires n compute instructions at the dependency-limited
+// rate (never faster than the issue width allows).
+func (c *Core) AdvanceCompute(n int) {
+	cpi := c.p.BaseCPI
+	if min := 1 / float64(c.p.IssueWidth); cpi < min {
+		cpi = min
+	}
+	c.time += float64(n) * cpi
+	c.instructions += uint64(n)
+}
+
+// BeginMiss reserves a miss slot, stalling the core until the oldest
+// outstanding miss completes if the window is full. It returns the cycle at
+// which the new miss may issue. Call CompleteMiss with the controller's
+// completion time afterwards.
+func (c *Core) BeginMiss() float64 {
+	c.drain()
+	if len(c.outstanding) >= c.p.MaxOutstanding {
+		oldest := c.outstanding[0]
+		if oldest > c.time {
+			c.StallCycles += oldest - c.time
+			c.time = oldest
+		}
+		c.outstanding = c.outstanding[1:]
+	}
+	return c.time
+}
+
+// CompleteMiss records the completion time of the miss issued at BeginMiss.
+func (c *Core) CompleteMiss(done float64) {
+	// Keep the list sorted (completion times are near-monotonic; a simple
+	// insertion keeps the oldest-first invariant exact).
+	i := len(c.outstanding)
+	c.outstanding = append(c.outstanding, done)
+	for i > 0 && c.outstanding[i-1] > done {
+		c.outstanding[i] = c.outstanding[i-1]
+		i--
+	}
+	c.outstanding[i] = done
+}
+
+// Hit charges an LLC hit. Hits are normally overlapped; when the miss
+// window is saturated the core is latency-bound and pays the hit latency.
+func (c *Core) Hit() {
+	c.drain()
+	if len(c.outstanding) >= c.p.MaxOutstanding {
+		c.time += float64(c.p.LLCHitCycles)
+	}
+}
+
+// drain retires misses that completed before the current core time.
+func (c *Core) drain() {
+	for len(c.outstanding) > 0 && c.outstanding[0] <= c.time {
+		c.outstanding = c.outstanding[1:]
+	}
+}
+
+// Drain waits for every outstanding miss (end of simulation).
+func (c *Core) Drain() {
+	if n := len(c.outstanding); n > 0 {
+		last := c.outstanding[n-1]
+		if last > c.time {
+			c.StallCycles += last - c.time
+			c.time = last
+		}
+		c.outstanding = c.outstanding[:0]
+	}
+}

@@ -1,0 +1,107 @@
+package cpu
+
+import "testing"
+
+func TestComputeAdvancesAtBaseCPI(t *testing.T) {
+	c := New(DefaultParams())
+	c.AdvanceCompute(100)
+	if c.Time() != 100*DefaultParams().BaseCPI {
+		t.Fatalf("100 instr at CPI %v: got %v cycles", DefaultParams().BaseCPI, c.Time())
+	}
+	if c.Instructions() != 100 {
+		t.Fatalf("instructions %d", c.Instructions())
+	}
+	// The issue width caps throughput even for an optimistic BaseCPI.
+	wide := New(Params{IssueWidth: 2, BaseCPI: 0.1, MaxOutstanding: 4, LLCHitCycles: 10})
+	wide.AdvanceCompute(100)
+	if wide.Time() != 50 {
+		t.Fatalf("issue width must floor CPI at 0.5: got %v", wide.Time())
+	}
+}
+
+func TestMissesOverlapUpToWindow(t *testing.T) {
+	p := DefaultParams()
+	c := New(p)
+	// A window's worth of misses, each 200 cycles: all overlap, no stall.
+	for i := 0; i < p.MaxOutstanding; i++ {
+		at := c.BeginMiss()
+		c.CompleteMiss(at + 200)
+	}
+	if c.Time() != 0 {
+		t.Fatalf("full window must not stall, time=%v", c.Time())
+	}
+	// One more miss blocks until the oldest completes.
+	at := c.BeginMiss()
+	if at != 200 {
+		t.Fatalf("overflow miss must wait for oldest, issued at %v", at)
+	}
+	if c.StallCycles != 200 {
+		t.Fatalf("stall cycles %v", c.StallCycles)
+	}
+}
+
+func TestDrainRetiresCompleted(t *testing.T) {
+	c := New(DefaultParams())
+	at := c.BeginMiss()
+	c.CompleteMiss(at + 10)
+	c.AdvanceCompute(100) // time 100 > 10: miss retired
+	at = c.BeginMiss()
+	if at != 100 {
+		t.Fatalf("miss should issue immediately at 100, got %v", at)
+	}
+	c.CompleteMiss(at + 10)
+	c.Drain()
+	if c.Time() != 110 {
+		t.Fatalf("drain must wait for last completion, time=%v", c.Time())
+	}
+}
+
+func TestHitLatencyOnlyWhenSaturated(t *testing.T) {
+	p := DefaultParams()
+	c := New(p)
+	c.Hit()
+	if c.Time() != 0 {
+		t.Fatalf("unsaturated hit must be hidden, time=%v", c.Time())
+	}
+	for i := 0; i < p.MaxOutstanding; i++ {
+		at := c.BeginMiss()
+		c.CompleteMiss(at + 1000)
+	}
+	c.Hit()
+	if c.Time() != float64(p.LLCHitCycles) {
+		t.Fatalf("saturated hit must cost latency, time=%v", c.Time())
+	}
+}
+
+func TestCompletionOrderMaintained(t *testing.T) {
+	// Out-of-order completions must still retire oldest-completion-first.
+	c := New(Params{IssueWidth: 2, MaxOutstanding: 2, LLCHitCycles: 10})
+	a := c.BeginMiss()
+	c.CompleteMiss(a + 500) // slow miss
+	b := c.BeginMiss()
+	c.CompleteMiss(b + 100) // fast miss completes first
+	at := c.BeginMiss()     // window full: waits for the FAST one (oldest completion)
+	if at != 100 {
+		t.Fatalf("third miss should wait until 100, got %v", at)
+	}
+}
+
+func TestLongerLatencyLowersIPC(t *testing.T) {
+	run := func(lat float64) float64 {
+		c := New(DefaultParams())
+		for i := 0; i < 1000; i++ {
+			c.AdvanceCompute(16)
+			at := c.BeginMiss()
+			c.CompleteMiss(at + lat)
+		}
+		c.Drain()
+		return float64(c.Instructions()) / c.Time()
+	}
+	fast, slow := run(50), run(400)
+	if slow >= fast {
+		t.Fatalf("IPC must drop with memory latency: fast=%v slow=%v", fast, slow)
+	}
+	if slow > 0.5*fast {
+		t.Fatalf("8x latency must hurt substantially: fast=%v slow=%v", fast, slow)
+	}
+}

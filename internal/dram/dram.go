@@ -1,0 +1,202 @@
+// Package dram models DDR3 DRAM devices: per-speed-bin timing parameters
+// and a Micron-power-calculator-style energy model driven by IDD currents.
+// It reproduces the DRAMsim power methodology the paper's evaluation uses:
+// dynamic energy integrates per-command current deltas (activate, read
+// burst, write burst), background energy integrates state-residency power
+// (active standby, precharge standby, precharge power-down) plus refresh.
+//
+// All energies are in picojoules and all times in controller clock cycles
+// unless a name says otherwise. With a 1 GHz DRAM clock (the paper's 2Gb
+// DDR3 with 1 GHz I/O), one cycle is one nanosecond, and the identity
+// mA × V × ns = pJ keeps the arithmetic transparent.
+package dram
+
+import "fmt"
+
+// Width is a DRAM device I/O width in bits.
+type Width int
+
+// Supported device widths.
+const (
+	X4  Width = 4
+	X8  Width = 8
+	X16 Width = 16
+)
+
+// IDD holds the datasheet supply currents of one device, in milliamps.
+// Names follow the Micron DDR3 datasheet.
+type IDD struct {
+	IDD0  float64 // one activate-precharge cycle
+	IDD2N float64 // precharge standby
+	IDD2P float64 // precharge power-down (slow exit) — the "sleep" state
+	IDD3N float64 // active standby
+	IDD4R float64 // burst read
+	IDD4W float64 // burst write
+	IDD5  float64 // burst refresh
+}
+
+// Chip is one DRAM device model.
+type Chip struct {
+	Width       Width
+	CapacityGb  float64
+	VDD         float64
+	Currents    IDD
+	IOEnergyBit float64 // I/O + termination energy per transferred bit, pJ
+}
+
+// Chip2GbDDR3 returns the 2Gb DDR3 device model for the requested width,
+// with currents patterned on the Micron 2Gb DDR3 SDRAM datasheet (die
+// revision D) that the paper's DRAMsim configuration uses. Wider devices
+// draw more burst and activate current; that asymmetry is exactly what
+// makes few-wide-chip ranks (LOT-ECC5) cheaper per access than many-narrow-
+// chip ranks (36-device chipkill), because energy per access scales with
+// the CHIP COUNT of the rank while per-chip burst current grows only
+// mildly with width.
+func Chip2GbDDR3(w Width) Chip {
+	// Background currents (IDD2N/IDD2P/IDD3N) are close to width-
+	// independent in the datasheet — they are leakage and peripheral
+	// dominated — while the burst and activate currents grow with width.
+	var c IDD
+	switch w {
+	case X4:
+		c = IDD{IDD0: 85, IDD2N: 40, IDD2P: 10, IDD3N: 45, IDD4R: 135, IDD4W: 140, IDD5: 210}
+	case X8:
+		c = IDD{IDD0: 85, IDD2N: 40, IDD2P: 10, IDD3N: 45, IDD4R: 150, IDD4W: 155, IDD5: 215}
+	case X16:
+		c = IDD{IDD0: 100, IDD2N: 45, IDD2P: 10, IDD3N: 52, IDD4R: 195, IDD4W: 205, IDD5: 220}
+	default:
+		panic(fmt.Sprintf("dram: unsupported width %d", w))
+	}
+	return Chip{Width: w, CapacityGb: 2, VDD: 1.5, Currents: c, IOEnergyBit: 5}
+}
+
+// Timing holds the DDR3 timing parameters in clock cycles.
+type Timing struct {
+	TCKNs  float64 // clock period, ns
+	CL     int     // CAS latency
+	CWL    int     // CAS write latency
+	TRCD   int     // activate to read/write
+	TRP    int     // precharge
+	TRAS   int     // activate to precharge
+	TRC    int     // activate to activate, same bank
+	TBurst int     // burst duration (BL8 = 4 cycles at DDR)
+	TRTP   int     // read to precharge
+	TWR    int     // write recovery
+	TRFC   int     // refresh cycle
+	TREFI  int     // refresh interval
+	TXP    int     // power-down exit
+	TRRD   int     // activate to activate, different bank
+}
+
+// DDR3Timing1GHz returns the timing set for the paper's 1 GHz-clock DDR3
+// configuration (2000 MT/s data rate), with the x8 device's activate
+// spacing. Use TimingForWidth for a rank's actual device width.
+func DDR3Timing1GHz() Timing {
+	return Timing{
+		TCKNs: 1.0, CL: 14, CWL: 10, TRCD: 14, TRP: 14, TRAS: 33, TRC: 47,
+		TBurst: 4, TRTP: 8, TWR: 15, TRFC: 160, TREFI: 7800, TXP: 7, TRRD: 5,
+	}
+}
+
+// TimingForWidth adapts the activate-spacing constraints to the device
+// width: narrower devices have smaller pages and so shorter tRRD/tFAW
+// windows (x4 ≈ 1KB pages, tRRD 4ns; x16 ≈ 2KB pages, tRRD 6ns). The
+// controller derives tFAW as 5·tRRD.
+func TimingForWidth(w Width) Timing {
+	t := DDR3Timing1GHz()
+	switch w {
+	case X4:
+		t.TRRD = 4
+	case X8:
+		t.TRRD = 5
+	case X16:
+		t.TRRD = 6
+	}
+	return t
+}
+
+// ReadLatency returns the cycles from a row-closed request arrival to the
+// last data beat under the close-page policy: activate, CAS, burst.
+func (t Timing) ReadLatency() int { return t.TRCD + t.CL + t.TBurst }
+
+// SpeedBin derives a faster (or slower) bin: frequency scaled by factor,
+// currents scaled per the empirical sensitivity the paper invokes in §V-D
+// (a 16% faster bin costs ≈5% more energy per instruction).
+func SpeedBin(chip Chip, timing Timing, factor float64) (Chip, Timing) {
+	timing.TCKNs /= factor
+	cur := &chip.Currents
+	// Faster bins run at higher drive strength/voltage margin: dynamic
+	// currents grow FASTER than frequency (net energy per operation rises
+	// ≈5–6% for a 16% faster bin, matching the paper's estimate), while
+	// background currents grow sublinearly.
+	for _, p := range []*float64{&cur.IDD0, &cur.IDD4R, &cur.IDD4W, &cur.IDD5} {
+		*p *= 1 + 1.45*(factor-1)
+	}
+	for _, p := range []*float64{&cur.IDD2N, &cur.IDD2P, &cur.IDD3N} {
+		*p *= 1 + 0.8*(factor-1)
+	}
+	return chip, timing
+}
+
+// ActivateEnergy returns the per-chip energy of one activate-precharge
+// pair in pJ: the IDD0 draw over tRC minus the standby current that would
+// have flowed anyway (Micron power-calc formulation).
+func (c Chip) ActivateEnergy(t Timing) float64 {
+	i := c.Currents
+	overhead := i.IDD0*float64(t.TRC) - (i.IDD3N*float64(t.TRAS) + i.IDD2N*float64(t.TRC-t.TRAS))
+	return overhead * c.VDD * t.TCKNs
+}
+
+// ReadBurstEnergy returns the per-chip energy of one BL8 read burst in pJ,
+// including I/O energy for the bits this chip transfers.
+func (c Chip) ReadBurstEnergy(t Timing) float64 {
+	i := c.Currents
+	core := (i.IDD4R - i.IDD3N) * c.VDD * float64(t.TBurst) * t.TCKNs
+	bits := float64(c.Width) * 2 * float64(t.TBurst) // DDR: 2 beats/cycle
+	return core + bits*c.IOEnergyBit
+}
+
+// WriteBurstEnergy returns the per-chip energy of one BL8 write burst in pJ.
+func (c Chip) WriteBurstEnergy(t Timing) float64 {
+	i := c.Currents
+	core := (i.IDD4W - i.IDD3N) * c.VDD * float64(t.TBurst) * t.TCKNs
+	bits := float64(c.Width) * 2 * float64(t.TBurst)
+	return core + bits*c.IOEnergyBit
+}
+
+// RefreshEnergy returns the per-chip energy of one refresh cycle in pJ.
+func (c Chip) RefreshEnergy(t Timing) float64 {
+	i := c.Currents
+	return (i.IDD5 - i.IDD2N) * c.VDD * float64(t.TRFC) * t.TCKNs
+}
+
+// PowerState is a rank background state.
+type PowerState int
+
+// Background states tracked by the energy model.
+const (
+	StateActiveStandby PowerState = iota // a row is open
+	StatePrechargeStandby
+	StatePowerDown // precharge power-down: the paper's "sleep mode"
+)
+
+// BackgroundPower returns the per-chip background power of a state in mW.
+func (c Chip) BackgroundPower(s PowerState) float64 {
+	i := c.Currents
+	switch s {
+	case StateActiveStandby:
+		return i.IDD3N * c.VDD
+	case StatePrechargeStandby:
+		return i.IDD2N * c.VDD
+	case StatePowerDown:
+		return i.IDD2P * c.VDD
+	default:
+		panic("dram: unknown power state")
+	}
+}
+
+// BackgroundEnergy returns the per-chip energy of residing in state s for
+// the given number of cycles, in pJ.
+func (c Chip) BackgroundEnergy(s PowerState, cycles float64, t Timing) float64 {
+	return c.BackgroundPower(s) * cycles * t.TCKNs
+}

@@ -1,0 +1,110 @@
+package dram
+
+import "testing"
+
+func TestChipModels(t *testing.T) {
+	for _, w := range []Width{X4, X8, X16} {
+		c := Chip2GbDDR3(w)
+		if c.Width != w || c.VDD != 1.5 || c.CapacityGb != 2 {
+			t.Fatalf("bad chip model for width %d: %+v", w, c)
+		}
+	}
+}
+
+func TestUnsupportedWidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("width 32 must panic")
+		}
+	}()
+	Chip2GbDDR3(Width(32))
+}
+
+func TestWiderChipsDrawMoreBurstCurrent(t *testing.T) {
+	t4 := Chip2GbDDR3(X4).Currents
+	t8 := Chip2GbDDR3(X8).Currents
+	t16 := Chip2GbDDR3(X16).Currents
+	if !(t4.IDD4R < t8.IDD4R && t8.IDD4R < t16.IDD4R) {
+		t.Fatal("IDD4R must grow with width")
+	}
+}
+
+func TestEnergiesPositive(t *testing.T) {
+	tm := DDR3Timing1GHz()
+	for _, w := range []Width{X4, X8, X16} {
+		c := Chip2GbDDR3(w)
+		for name, e := range map[string]float64{
+			"activate": c.ActivateEnergy(tm),
+			"read":     c.ReadBurstEnergy(tm),
+			"write":    c.WriteBurstEnergy(tm),
+			"refresh":  c.RefreshEnergy(tm),
+		} {
+			if e <= 0 {
+				t.Errorf("x%d %s energy %v must be positive", w, name, e)
+			}
+		}
+	}
+}
+
+func TestRankEnergyOrdering(t *testing.T) {
+	// The paper's central energy claim: a 36×x4 rank costs far more per
+	// access than a 4×x16+1×x8 rank. Verify the per-access dynamic energy
+	// ordering: chipkill36 rank > 2× LOT-ECC5 rank (it delivers 2× data,
+	// but even per 64B it must be well above).
+	tm := DDR3Timing1GHz()
+	x4 := Chip2GbDDR3(X4)
+	x8 := Chip2GbDDR3(X8)
+	x16 := Chip2GbDDR3(X16)
+	ck36 := 36 * (x4.ActivateEnergy(tm) + x4.ReadBurstEnergy(tm)) // 128B
+	lot5 := 4*(x16.ActivateEnergy(tm)+x16.ReadBurstEnergy(tm)) +
+		x8.ActivateEnergy(tm) + x8.ReadBurstEnergy(tm) // 64B
+	if ck36/2 < 2*lot5 {
+		t.Fatalf("chipkill36 per-64B access (%.0f pJ) must be >2× LOT-ECC5 (%.0f pJ)", ck36/2, lot5)
+	}
+}
+
+func TestBackgroundStateOrdering(t *testing.T) {
+	c := Chip2GbDDR3(X8)
+	pd := c.BackgroundPower(StatePowerDown)
+	pre := c.BackgroundPower(StatePrechargeStandby)
+	act := c.BackgroundPower(StateActiveStandby)
+	if !(pd < pre && pre < act) {
+		t.Fatalf("power ordering wrong: pd=%v pre=%v act=%v", pd, pre, act)
+	}
+}
+
+func TestBackgroundEnergyLinearInTime(t *testing.T) {
+	c := Chip2GbDDR3(X4)
+	tm := DDR3Timing1GHz()
+	e1 := c.BackgroundEnergy(StatePowerDown, 100, tm)
+	e2 := c.BackgroundEnergy(StatePowerDown, 200, tm)
+	if e2 != 2*e1 {
+		t.Fatal("background energy must be linear in residency")
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	tm := DDR3Timing1GHz()
+	if got := tm.ReadLatency(); got != 14+14+4 {
+		t.Fatalf("close-page read latency %d, want 32", got)
+	}
+}
+
+func TestSpeedBinTradeoff(t *testing.T) {
+	// §V-D: a 16% faster bin should cost a mild (≈5%) energy increase.
+	chip, tm := SpeedBin(Chip2GbDDR3(X8), DDR3Timing1GHz(), 1.16)
+	base := Chip2GbDDR3(X8)
+	baseTm := DDR3Timing1GHz()
+	if tm.TCKNs >= baseTm.TCKNs {
+		t.Fatal("faster bin must shorten the clock")
+	}
+	// Energy per activate in the faster bin: higher current over shorter
+	// time; the net increase must be modest (the full-system EPI cost of
+	// the 16% bin is ≈5%, checked in BenchmarkSpeedBinTradeoff).
+	eBase := base.ActivateEnergy(baseTm)
+	eFast := chip.ActivateEnergy(tm)
+	ratio := eFast / eBase
+	if ratio < 1.0 || ratio > 1.25 {
+		t.Fatalf("speed-bin activate energy ratio %v, want ≈1.0–1.25", ratio)
+	}
+}

@@ -1,0 +1,50 @@
+package ecc
+
+// Intra-chip checksums used for localizing error detection (LOT-ECC's LED
+// tier, RAIM's per-DIMM channel checksums, Multi-ECC's line checksum).
+//
+// These are CRC-16/CCITT sums. CRC's GF(2)-linearity gives the guarantee
+// the schemes rely on: for any fixed nonzero error pattern e,
+// crc(x⊕e) = crc(x) ⊕ crc(e) ≠ crc(x), so a stuck bit-lane, a dead device
+// driving a constant pattern, or any repeated-mask corruption is detected
+// for EVERY data value — where an additive Fletcher sum can cancel. The
+// 0xFFFF initial value makes an all-zero (dead-low) shard checksum nonzero.
+
+// crc16Table is the CRC-16/CCITT (poly 0x1021) lookup table.
+var crc16Table [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		c := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if c&0x8000 != 0 {
+				c = c<<1 ^ 0x1021
+			} else {
+				c <<= 1
+			}
+		}
+		crc16Table[i] = c
+	}
+}
+
+// checksum16 computes the 2-byte CRC of p.
+func checksum16(p []byte) [2]byte {
+	crc := uint16(0xFFFF)
+	for _, x := range p {
+		crc = crc<<8 ^ crc16Table[byte(crc>>8)^x]
+	}
+	return [2]byte{byte(crc >> 8), byte(crc)}
+}
+
+// checksum8 computes a 1-byte check of p (LOT-ECC9's per-chip LED budget
+// is a single byte per 8-byte shard, so detection of an arbitrary fixed
+// pattern can only be probabilistic at this width — as in real LOT-ECC).
+func checksum8(p []byte) byte {
+	s := checksum16(p)
+	return s[0] ^ s[1]
+}
+
+// checksumMatches reports whether stored equals the recomputed checksum16.
+func checksumMatches(shard []byte, stored [2]byte) bool {
+	return checksum16(shard) == stored
+}

@@ -1,0 +1,308 @@
+package ecc
+
+import "eccparity/internal/gf"
+
+// Chipkill36 models the 36-device commercial chipkill correct scheme: each
+// 128B line is striped across 36 x4 chips (32 data, 2 detection, 2
+// correction), one 8-bit code symbol per chip per word, four words per line.
+//
+// A single RS(36,32) code (distance 5) protects each word, exactly as the
+// commercial four-check-symbol code does. Per the paper, two of the four
+// check symbols are the DETECTION bits (chips 32–33, recomputed and compared
+// on every read) and two are the CORRECTION bits (chips 34–35 in the
+// conventional layout, or replaced by the cross-channel ECC parity under the
+// overlay in package core). The decode policy is the commercial
+// correct-one/detect-two: any single-chip failure is corrected, any
+// double-chip failure is flagged uncorrectable rather than risked.
+type Chipkill36 struct {
+	code *gf.RS // (36,32), distance 5
+}
+
+// NewChipkill36 constructs the scheme.
+func NewChipkill36() *Chipkill36 {
+	return &Chipkill36{code: gf.NewRS(36, 32)}
+}
+
+const (
+	ck36Words     = 4   // words per 128B line
+	ck36DataChips = 32  // data symbols per word
+	ck36Line      = 128 // bytes
+)
+
+// Name implements Scheme.
+func (s *Chipkill36) Name() string { return "36-device commercial chipkill" }
+
+// Geometry implements Scheme (Table II row 1).
+func (s *Chipkill36) Geometry() Geometry {
+	return Geometry{
+		RankConfig:      "36 x4",
+		Chips:           []ChipClass{{Width: 4, Count: 36}},
+		LineSize:        ck36Line,
+		RanksPerChannel: 1,
+		ChannelsDualEq:  2,
+		ChannelsQuadEq:  4,
+		PinsDualEq:      288,
+		PinsQuadEq:      576,
+	}
+}
+
+// Overheads implements Scheme: 4 check chips per 32 data chips, split evenly
+// between detection and correction (Fig. 1).
+func (s *Chipkill36) Overheads() Overheads {
+	return Overheads{Detection: 2.0 / 32.0, Correction: 2.0 / 32.0}
+}
+
+// CorrectionSize implements Scheme: 2 symbols × 4 words.
+func (s *Chipkill36) CorrectionSize() int { return 2 * ck36Words }
+
+// Encode implements Scheme. The codeword holds 34 shards (32 data chips + 2
+// detection chips) of 4 bytes each; the returned correction bits are the 8
+// RS(36,34) check bytes.
+func (s *Chipkill36) Encode(data []byte) (*Codeword, []byte) {
+	checkLine(s, data)
+	cw := &Codeword{Shards: make([][]byte, 34)}
+	for i := range cw.Shards {
+		cw.Shards[i] = make([]byte, ck36Words)
+	}
+	corrBits := make([]byte, 0, s.CorrectionSize())
+	word := make([]byte, ck36DataChips)
+	for w := 0; w < ck36Words; w++ {
+		for c := 0; c < ck36DataChips; c++ {
+			b := data[w*ck36DataChips+c]
+			cw.Shards[c][w] = b
+			word[c] = b
+		}
+		checks := s.code.Checks(word)
+		cw.Shards[32][w] = checks[0]
+		cw.Shards[33][w] = checks[1]
+		corrBits = append(corrBits, checks[2], checks[3])
+	}
+	return cw, corrBits
+}
+
+// Data implements Scheme.
+func (s *Chipkill36) Data(cw *Codeword) []byte {
+	out := make([]byte, ck36Line)
+	for w := 0; w < ck36Words; w++ {
+		for c := 0; c < ck36DataChips; c++ {
+			out[w*ck36DataChips+c] = cw.Shards[c][w]
+		}
+	}
+	return out
+}
+
+// Detect implements Scheme: recomputes the two detection check symbols of
+// every word and compares them against the stored ones. Inter-chip
+// detection has no localization, so SuspectChips is empty.
+func (s *Chipkill36) Detect(cw *Codeword) DetectResult {
+	if len(cw.Shards) != 34 {
+		panic(ErrBadShards)
+	}
+	word := make([]byte, ck36DataChips)
+	for w := 0; w < ck36Words; w++ {
+		for c := 0; c < ck36DataChips; c++ {
+			word[c] = cw.Shards[c][w]
+		}
+		checks := s.code.Checks(word)
+		if checks[0] != cw.Shards[32][w] || checks[1] != cw.Shards[33][w] {
+			return DetectResult{ErrorDetected: true}
+		}
+	}
+	return DetectResult{}
+}
+
+// CorrectionBits implements Scheme: the last two RS(36,32) check symbols of
+// every word.
+func (s *Chipkill36) CorrectionBits(data []byte) []byte {
+	checkLine(s, data)
+	out := make([]byte, 0, s.CorrectionSize())
+	word := make([]byte, ck36DataChips)
+	for w := 0; w < ck36Words; w++ {
+		copy(word, data[w*ck36DataChips:(w+1)*ck36DataChips])
+		checks := s.code.Checks(word)
+		out = append(out, checks[2], checks[3])
+	}
+	return out
+}
+
+// Correct implements Scheme: per-word RS(36,32) decoding with the supplied
+// correction symbols restored into positions 34–35. Distance 5 decodes any
+// ≤2-symbol pattern unambiguously; the commercial correct-one/detect-two
+// policy then accepts single-chip repairs and flags double-chip patterns as
+// detected-uncorrectable.
+func (s *Chipkill36) Correct(cw *Codeword, corr []byte) ([]byte, *CorrectReport, error) {
+	if len(cw.Shards) != 34 {
+		return nil, nil, ErrBadShards
+	}
+	if len(corr) != s.CorrectionSize() {
+		return nil, nil, ErrUncorrectable
+	}
+	out := make([]byte, ck36Line)
+	report := &CorrectReport{}
+	corrected := map[int]bool{}
+	full := make([]byte, 36)
+	for w := 0; w < ck36Words; w++ {
+		for c := 0; c < 34; c++ {
+			full[c] = cw.Shards[c][w]
+		}
+		full[34] = corr[2*w]
+		full[35] = corr[2*w+1]
+		before := append([]byte(nil), full...)
+		decoded, err := s.code.Decode(full)
+		if err != nil {
+			return nil, nil, ErrUncorrectable
+		}
+		fixes := 0
+		for c := 0; c < 36; c++ {
+			if full[c] != before[c] {
+				fixes++
+				if c < 34 {
+					corrected[c] = true
+				}
+			}
+		}
+		if fixes > 1 {
+			// Two chips disagreed: the commercial policy detects double
+			// failures rather than correcting them.
+			return nil, nil, ErrUncorrectable
+		}
+		copy(out[w*ck36DataChips:], decoded)
+	}
+	for c := range corrected {
+		report.CorrectedChips = append(report.CorrectedChips, c)
+	}
+	return out, report, nil
+}
+
+// Chipkill18 models the 18-device commercial chipkill correct scheme
+// (AMD family 15h): each 64B line is striped across 18 x4 chips with a
+// single RS(18,16) code whose two check symbols both detect and correct.
+// There are no separate correction bits (CorrectionSize is 0), so the ECC
+// Parity overlay is never applied to this scheme; it serves as the
+// low-capacity-overhead, high-power baseline.
+type Chipkill18 struct {
+	code *gf.RS
+}
+
+// NewChipkill18 constructs the scheme.
+func NewChipkill18() *Chipkill18 { return &Chipkill18{code: gf.NewRS(18, 16)} }
+
+const (
+	ck18Words     = 4
+	ck18DataChips = 16
+	ck18Line      = 64
+)
+
+// Name implements Scheme.
+func (s *Chipkill18) Name() string { return "18-device commercial chipkill" }
+
+// Geometry implements Scheme (Table II row 2).
+func (s *Chipkill18) Geometry() Geometry {
+	return Geometry{
+		RankConfig:      "18 x4",
+		Chips:           []ChipClass{{Width: 4, Count: 18}},
+		LineSize:        ck18Line,
+		RanksPerChannel: 1,
+		ChannelsDualEq:  4,
+		ChannelsQuadEq:  8,
+		PinsDualEq:      288,
+		PinsQuadEq:      576,
+	}
+}
+
+// Overheads implements Scheme. The two check symbols serve detection and
+// correction jointly; the paper accounts them as detection-class overhead
+// since they are read on every access.
+func (s *Chipkill18) Overheads() Overheads {
+	return Overheads{Detection: 2.0 / 16.0, Correction: 0}
+}
+
+// CorrectionSize implements Scheme.
+func (s *Chipkill18) CorrectionSize() int { return 0 }
+
+// Encode implements Scheme: 18 shards of 4 bytes, no separate correction.
+func (s *Chipkill18) Encode(data []byte) (*Codeword, []byte) {
+	checkLine(s, data)
+	cw := &Codeword{Shards: make([][]byte, 18)}
+	for i := range cw.Shards {
+		cw.Shards[i] = make([]byte, ck18Words)
+	}
+	word := make([]byte, ck18DataChips)
+	for w := 0; w < ck18Words; w++ {
+		for c := 0; c < ck18DataChips; c++ {
+			b := data[w*ck18DataChips+c]
+			cw.Shards[c][w] = b
+			word[c] = b
+		}
+		checks := s.code.Checks(word)
+		cw.Shards[16][w] = checks[0]
+		cw.Shards[17][w] = checks[1]
+	}
+	return cw, nil
+}
+
+// Data implements Scheme.
+func (s *Chipkill18) Data(cw *Codeword) []byte {
+	out := make([]byte, ck18Line)
+	for w := 0; w < ck18Words; w++ {
+		for c := 0; c < ck18DataChips; c++ {
+			out[w*ck18DataChips+c] = cw.Shards[c][w]
+		}
+	}
+	return out
+}
+
+// Detect implements Scheme.
+func (s *Chipkill18) Detect(cw *Codeword) DetectResult {
+	if len(cw.Shards) != 18 {
+		panic(ErrBadShards)
+	}
+	word := make([]byte, 18)
+	for w := 0; w < ck18Words; w++ {
+		for c := 0; c < 18; c++ {
+			word[c] = cw.Shards[c][w]
+		}
+		if s.code.HasError(word) {
+			return DetectResult{ErrorDetected: true}
+		}
+	}
+	return DetectResult{}
+}
+
+// CorrectionBits implements Scheme (none stored separately).
+func (s *Chipkill18) CorrectionBits(data []byte) []byte {
+	checkLine(s, data)
+	return nil
+}
+
+// Correct implements Scheme: single-symbol-per-word RS decoding using the
+// in-codeword check symbols; the corr argument is ignored.
+func (s *Chipkill18) Correct(cw *Codeword, corr []byte) ([]byte, *CorrectReport, error) {
+	if len(cw.Shards) != 18 {
+		return nil, nil, ErrBadShards
+	}
+	out := make([]byte, ck18Line)
+	report := &CorrectReport{}
+	corrected := map[int]bool{}
+	word := make([]byte, 18)
+	for w := 0; w < ck18Words; w++ {
+		for c := 0; c < 18; c++ {
+			word[c] = cw.Shards[c][w]
+		}
+		before := append([]byte(nil), word...)
+		decoded, err := s.code.Decode(word)
+		if err != nil {
+			return nil, nil, ErrUncorrectable
+		}
+		for c := 0; c < 18; c++ {
+			if word[c] != before[c] {
+				corrected[c] = true
+			}
+		}
+		copy(out[w*ck18DataChips:], decoded)
+	}
+	for c := range corrected {
+		report.CorrectedChips = append(report.CorrectedChips, c)
+	}
+	return out, report, nil
+}

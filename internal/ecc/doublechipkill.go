@@ -1,0 +1,169 @@
+package ecc
+
+import "eccparity/internal/gf"
+
+// DoubleChipkill models a double-chipkill-correct ECC — one of the
+// "diverse memory ECCs (e.g., chipkill correct, double chipkill correct,
+// DIMM-kill correct)" the paper names as overlay substrates but does not
+// evaluate. Each 128B line is striped across 40 x4 chips: 32 data, 2
+// detection, and 6 correction symbols per word under a single RS(40,32)
+// code (distance 9). The decode policy corrects up to TWO simultaneous
+// chip failures and flags three.
+//
+// The detection/correction split mirrors Chipkill36: the first two check
+// symbols are recomputed and compared on every read; the remaining six are
+// the correction bits (24B per 128B line, R = 0.1875) that the ECC Parity
+// overlay replaces with a cross-channel parity for fault-free memory.
+type DoubleChipkill struct {
+	code *gf.RS // (40,32), distance 9
+}
+
+// NewDoubleChipkill constructs the scheme.
+func NewDoubleChipkill() *DoubleChipkill {
+	return &DoubleChipkill{code: gf.NewRS(40, 32)}
+}
+
+const (
+	dckWords     = 4
+	dckDataChips = 32
+	dckLine      = 128
+	dckDetChips  = 2
+	dckCorrChips = 6
+)
+
+// Name implements Scheme.
+func (s *DoubleChipkill) Name() string { return "double chipkill correct" }
+
+// Geometry implements Scheme. The extra correction chips widen the rank to
+// 40 devices; channel counts follow the 128B-line commercial layout.
+func (s *DoubleChipkill) Geometry() Geometry {
+	return Geometry{
+		RankConfig:      "40 x4",
+		Chips:           []ChipClass{{Width: 4, Count: 40}},
+		LineSize:        dckLine,
+		RanksPerChannel: 1,
+		ChannelsDualEq:  2,
+		ChannelsQuadEq:  4,
+		PinsDualEq:      320,
+		PinsQuadEq:      640,
+	}
+}
+
+// Overheads implements Scheme: 2 detection + 6 correction chips per 32.
+func (s *DoubleChipkill) Overheads() Overheads {
+	return Overheads{Detection: float64(dckDetChips) / 32, Correction: float64(dckCorrChips) / 32}
+}
+
+// CorrectionSize implements Scheme: 6 symbols × 4 words.
+func (s *DoubleChipkill) CorrectionSize() int { return dckCorrChips * dckWords }
+
+// Encode implements Scheme: 34 shards (data + detection) of 4 bytes; the
+// 24 correction bytes are returned separately.
+func (s *DoubleChipkill) Encode(data []byte) (*Codeword, []byte) {
+	checkLine(s, data)
+	cw := &Codeword{Shards: make([][]byte, dckDataChips+dckDetChips)}
+	for i := range cw.Shards {
+		cw.Shards[i] = make([]byte, dckWords)
+	}
+	corr := make([]byte, 0, s.CorrectionSize())
+	word := make([]byte, dckDataChips)
+	for w := 0; w < dckWords; w++ {
+		for c := 0; c < dckDataChips; c++ {
+			b := data[w*dckDataChips+c]
+			cw.Shards[c][w] = b
+			word[c] = b
+		}
+		checks := s.code.Checks(word)
+		cw.Shards[32][w] = checks[0]
+		cw.Shards[33][w] = checks[1]
+		corr = append(corr, checks[2:]...)
+	}
+	return cw, corr
+}
+
+// Data implements Scheme.
+func (s *DoubleChipkill) Data(cw *Codeword) []byte {
+	out := make([]byte, dckLine)
+	for w := 0; w < dckWords; w++ {
+		for c := 0; c < dckDataChips; c++ {
+			out[w*dckDataChips+c] = cw.Shards[c][w]
+		}
+	}
+	return out
+}
+
+// Detect implements Scheme: recompute-and-compare on the two detection
+// symbols of every word.
+func (s *DoubleChipkill) Detect(cw *Codeword) DetectResult {
+	if len(cw.Shards) != dckDataChips+dckDetChips {
+		panic(ErrBadShards)
+	}
+	word := make([]byte, dckDataChips)
+	for w := 0; w < dckWords; w++ {
+		for c := 0; c < dckDataChips; c++ {
+			word[c] = cw.Shards[c][w]
+		}
+		checks := s.code.Checks(word)
+		if checks[0] != cw.Shards[32][w] || checks[1] != cw.Shards[33][w] {
+			return DetectResult{ErrorDetected: true}
+		}
+	}
+	return DetectResult{}
+}
+
+// CorrectionBits implements Scheme: check symbols 2–7 of every word.
+func (s *DoubleChipkill) CorrectionBits(data []byte) []byte {
+	checkLine(s, data)
+	out := make([]byte, 0, s.CorrectionSize())
+	word := make([]byte, dckDataChips)
+	for w := 0; w < dckWords; w++ {
+		copy(word, data[w*dckDataChips:(w+1)*dckDataChips])
+		checks := s.code.Checks(word)
+		out = append(out, checks[2:]...)
+	}
+	return out
+}
+
+// Correct implements Scheme: full RS(40,32) decoding; distance 9 corrects
+// any ≤4-symbol pattern, and the correct-two/detect-more policy accepts up
+// to two repaired chips per word.
+func (s *DoubleChipkill) Correct(cw *Codeword, corr []byte) ([]byte, *CorrectReport, error) {
+	if len(cw.Shards) != dckDataChips+dckDetChips {
+		return nil, nil, ErrBadShards
+	}
+	if len(corr) != s.CorrectionSize() {
+		return nil, nil, ErrUncorrectable
+	}
+	out := make([]byte, dckLine)
+	corrected := map[int]bool{}
+	full := make([]byte, 40)
+	for w := 0; w < dckWords; w++ {
+		for c := 0; c < dckDataChips+dckDetChips; c++ {
+			full[c] = cw.Shards[c][w]
+		}
+		copy(full[34:], corr[w*dckCorrChips:(w+1)*dckCorrChips])
+		before := append([]byte(nil), full...)
+		decoded, err := s.code.Decode(full)
+		if err != nil {
+			return nil, nil, ErrUncorrectable
+		}
+		fixes := 0
+		for c := 0; c < 40; c++ {
+			if full[c] != before[c] {
+				fixes++
+				if c < 34 {
+					corrected[c] = true
+				}
+			}
+		}
+		if fixes > 2 {
+			return nil, nil, ErrUncorrectable
+		}
+		copy(out[w*dckDataChips:], decoded)
+	}
+	report := &CorrectReport{}
+	for c := range corrected {
+		report.CorrectedChips = append(report.CorrectedChips, c)
+	}
+	return out, report, nil
+}

@@ -1,0 +1,32 @@
+package ecc
+
+import "sort"
+
+// All returns one instance of every base scheme, keyed by the paper's name.
+func All() map[string]Scheme {
+	return map[string]Scheme{
+		"chipkill36":     NewChipkill36(),
+		"chipkill18":     NewChipkill18(),
+		"doublechipkill": NewDoubleChipkill(),
+		"lotecc5":        NewLOTECC5(),
+		"lotecc5rs":      NewLOTECC5RS(),
+		"lotecc9":        NewLOTECC9(),
+		"multiecc":       NewMultiECC(),
+		"raim":           NewRAIM(),
+		"raim18":         NewRAIMParity(),
+	}
+}
+
+// Names returns the registry keys in deterministic order.
+func Names() []string {
+	m := All()
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName returns the scheme registered under name, or nil.
+func ByName(name string) Scheme { return All()[name] }

@@ -1,0 +1,51 @@
+package ecc
+
+import "eccparity/internal/gf"
+
+// rsColumn wraps an RS(10,8) code applied per byte column of a line striped
+// over 8 chips, for Multi-ECC's tier-2 correction.
+type rsColumn struct {
+	code *gf.RS
+}
+
+func newRSColumn() *rsColumn { return &rsColumn{code: gf.NewRS(10, 8)} }
+
+// checks returns the 2 check symbols for one 8-byte column.
+func (r *rsColumn) checks(col []byte) []byte { return r.code.Checks(col) }
+
+// consistent reports whether every column of the line agrees with the
+// supplied check bytes.
+func (r *rsColumn) consistent(line, corr []byte) bool {
+	cw := make([]byte, 10)
+	for j := 0; j < meShard; j++ {
+		for c := 0; c < meDataChips; c++ {
+			cw[c] = line[c*meShard+j]
+		}
+		cw[8] = corr[2*j]
+		cw[9] = corr[2*j+1]
+		if r.code.HasError(cw) {
+			return false
+		}
+	}
+	return true
+}
+
+// eraseChip erasure-decodes every column with chip c erased and returns the
+// repaired line.
+func (r *rsColumn) eraseChip(line, corr []byte, c int) ([]byte, error) {
+	out := append([]byte(nil), line...)
+	cw := make([]byte, 10)
+	for j := 0; j < meShard; j++ {
+		for i := 0; i < meDataChips; i++ {
+			cw[i] = line[i*meShard+j]
+		}
+		cw[8] = corr[2*j]
+		cw[9] = corr[2*j+1]
+		decoded, err := r.code.DecodeErasures(cw, []int{c})
+		if err != nil {
+			return nil, err
+		}
+		out[c*meShard+j] = decoded[c]
+	}
+	return out, nil
+}

@@ -1,0 +1,74 @@
+package faultmodel
+
+import "math"
+
+// This file holds the closed-form system-level estimates of §III-E, §VI-B
+// and §VI-D of the paper.
+
+// HPCConfig parameterizes the §VI-B large-HPC-system stall estimate.
+type HPCConfig struct {
+	TotalMemoryBytes float64 // e.g. 2 PB
+	NodeMemoryBytes  float64 // e.g. 128 GB
+	NICBandwidth     float64 // bytes/s, e.g. 1 GB/s
+	MemBandwidth     float64 // bytes/s per node, for the reconstruction read
+	ChipCapacityBits float64 // e.g. 2 Gb devices
+	Rates            Rates
+}
+
+// DefaultHPCConfig returns the paper's §VI-B scenario.
+func DefaultHPCConfig() HPCConfig {
+	return HPCConfig{
+		TotalMemoryBytes: 2e15,
+		NodeMemoryBytes:  128e9,
+		NICBandwidth:     1e9,
+		MemBandwidth:     12.8e9, // one DDR3-1600 channel's worth
+		ChipCapacityBits: 2e9,
+		Rates:            DefaultRates(),
+	}
+}
+
+// StallFraction returns the expected fraction of time the whole HPC system
+// is stalled for thread migration plus ECC-correction-bit reconstruction.
+// Migration is performed on every column, bank, multi-bank or multi-rank
+// fault (§VI-B).
+func (c HPCConfig) StallFraction() float64 {
+	chipsPerNode := c.NodeMemoryBytes * 8 / c.ChipCapacityBits
+	nodes := c.TotalMemoryBytes / c.NodeMemoryBytes
+	migRate := c.Rates[FaultColumn] + c.Rates[FaultBank] + c.Rates[FaultMultiBank] + c.Rates[FaultMultiRank]
+	eventsPerHour := nodes * chipsPerNode * migRate * 1e-9
+	stallSeconds := c.NodeMemoryBytes/c.NICBandwidth + c.NodeMemoryBytes/c.MemBandwidth
+	return eventsPerHour * stallSeconds / 3600
+}
+
+// CounterSRAMBytes returns the on-chip error-counter storage required by
+// ECC Parity for a memory system with the given number of rank-level banks
+// (§III-E: half a byte per bank pair; 512B for 1024 banks).
+func CounterSRAMBytes(totalBanks int) int {
+	pairs := totalBanks / 2
+	return (pairs + 1) / 2 // 0.5 B per pair
+}
+
+// MaxRetiredPages returns the worst-case number of pages retired before a
+// bank pair's error counter saturates (§III-E: 4·(N−1) pages for threshold
+// 4 in an N-channel system).
+func MaxRetiredPages(threshold, channels int) int {
+	return threshold * (channels - 1)
+}
+
+// UndetectedErrorYears estimates the §VI-D mean time (in years) between
+// undetected errors across all banks not yet recorded as faulty, for the
+// modified LOT-ECC5+Parity encoding: a single check symbol per word can
+// miss an error affecting two data symbols with probability 2^-16; at most
+// `threshold` errors slip through per fault before the bank pair is marked.
+func UndetectedErrorYears(topo Topology, rates Rates, threshold int) float64 {
+	// Faults per hour that produce multi-symbol errors in a rank (x16
+	// devices contribute two symbols per word): pessimistically, all
+	// device-level faults.
+	lambda := (rates[FaultColumn] + rates[FaultRow] + rates[FaultBank] +
+		rates[FaultMultiBank] + rates[FaultMultiRank]) * 1e-9 * float64(topo.TotalChips())
+	pMissPerError := math.Pow(2, -16)
+	// Each fault is exposed to at most `threshold` unverified errors
+	// before marking.
+	undetectedPerHour := lambda * float64(threshold) * pMissPerError
+	return 1 / undetectedPerHour / HoursPerYear
+}

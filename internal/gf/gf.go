@@ -1,0 +1,135 @@
+// Package gf implements arithmetic over the finite field GF(2^8) and a
+// systematic Reed–Solomon codec with error, erasure, and combined
+// error-and-erasure decoding.
+//
+// The field uses the primitive polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D),
+// the same polynomial used by many memory and storage ECCs. All chipkill-style
+// codes in this repository (36-device and 18-device commercial chipkill, the
+// modified LOT-ECC5 inter-device code from §VI-D of the paper, and Multi-ECC's
+// corrector) are instantiated on top of this package.
+package gf
+
+// Poly is the primitive polynomial defining the field representation.
+const Poly = 0x11D
+
+// Order is the number of elements in GF(2^8).
+const Order = 256
+
+var (
+	expTable [2 * Order]byte // expTable[i] = α^i, doubled to avoid mod in Mul
+	logTable [Order]byte     // logTable[α^i] = i; logTable[0] unused
+)
+
+func init() {
+	x := 1
+	for i := 0; i < Order-1; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Poly
+		}
+	}
+	// Duplicate the table so exp lookups for summed logs need no reduction.
+	for i := Order - 1; i < 2*Order; i++ {
+		expTable[i] = expTable[i-(Order-1)]
+	}
+}
+
+// Add returns a+b in GF(2^8). Addition and subtraction coincide.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a*b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a/b in GF(2^8). Division by zero panics: it indicates a
+// decoder bug, never a data-dependent condition.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+Order-1-int(logTable[b])]
+}
+
+// Inv returns the multiplicative inverse of a.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return expTable[Order-1-int(logTable[a])]
+}
+
+// Exp returns α^n for n ≥ 0.
+func Exp(n int) byte { return expTable[n%(Order-1)] }
+
+// Log returns the discrete log of a (a must be nonzero).
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// PolyEval evaluates the polynomial p (p[0] is the highest-degree
+// coefficient) at the point x.
+func PolyEval(p []byte, x byte) byte {
+	var y byte
+	for _, c := range p {
+		y = Mul(y, x) ^ c
+	}
+	return y
+}
+
+// PolyMul returns the product of polynomials a and b (highest degree first).
+func PolyMul(a, b []byte) []byte {
+	out := make([]byte, len(a)+len(b)-1)
+	for i, ca := range a {
+		if ca == 0 {
+			continue
+		}
+		for j, cb := range b {
+			out[i+j] ^= Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+// PolyAdd returns the sum of polynomials a and b (highest degree first).
+func PolyAdd(a, b []byte) []byte {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]byte, len(a))
+	copy(out, a)
+	off := len(a) - len(b)
+	for i, c := range b {
+		out[off+i] ^= c
+	}
+	return out
+}
+
+// polyScale multiplies every coefficient of p by x.
+func polyScale(p []byte, x byte) []byte {
+	out := make([]byte, len(p))
+	for i, c := range p {
+		out[i] = Mul(c, x)
+	}
+	return out
+}
+
+// polyTrim removes leading zero coefficients, keeping at least one term.
+func polyTrim(p []byte) []byte {
+	i := 0
+	for i < len(p)-1 && p[i] == 0 {
+		i++
+	}
+	return p[i:]
+}

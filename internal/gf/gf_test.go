@@ -1,0 +1,161 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatal("Add must be XOR")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for a := 0; a < Order; a++ {
+		if Mul(byte(a), 1) != byte(a) {
+			t.Fatalf("a*1 != a for a=%d", a)
+		}
+		if Mul(byte(a), 0) != 0 {
+			t.Fatalf("a*0 != 0 for a=%d", a)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		if Mul(byte(a), Inv(byte(a))) != 1 {
+			t.Fatalf("a*a^-1 != 1 for a=%d", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero must panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestExpLogRoundTrip(t *testing.T) {
+	for a := 1; a < Order; a++ {
+		if Exp(Log(byte(a))) != byte(a) {
+			t.Fatalf("Exp(Log(a)) != a for a=%d", a)
+		}
+	}
+}
+
+func TestExpGeneratesField(t *testing.T) {
+	seen := make(map[byte]bool)
+	for i := 0; i < Order-1; i++ {
+		seen[Exp(i)] = true
+	}
+	if len(seen) != Order-1 {
+		t.Fatalf("α must generate all %d nonzero elements, got %d", Order-1, len(seen))
+	}
+}
+
+func TestPolyEvalConstant(t *testing.T) {
+	if PolyEval([]byte{7}, 123) != 7 {
+		t.Fatal("constant polynomial must evaluate to itself")
+	}
+}
+
+func TestPolyEvalLinear(t *testing.T) {
+	// p(x) = 3x + 5 at x=2 → Mul(3,2)^5
+	want := Mul(3, 2) ^ 5
+	if got := PolyEval([]byte{3, 5}, 2); got != want {
+		t.Fatalf("got %d want %d", got, want)
+	}
+}
+
+func TestPolyMulDegree(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5}
+	p := PolyMul(a, b)
+	if len(p) != len(a)+len(b)-1 {
+		t.Fatalf("product degree wrong: len=%d", len(p))
+	}
+}
+
+func TestPolyMulEvalHomomorphism(t *testing.T) {
+	f := func(a0, a1, b0, b1, x byte) bool {
+		a := []byte{a0, a1}
+		b := []byte{b0, b1}
+		return PolyEval(PolyMul(a, b), x) == Mul(PolyEval(a, x), PolyEval(b, x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyAdd(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{5}
+	got := PolyAdd(a, b)
+	want := []byte{1, 2, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PolyAdd got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPolyTrim(t *testing.T) {
+	got := polyTrim([]byte{0, 0, 7, 0})
+	if len(got) != 2 || got[0] != 7 {
+		t.Fatalf("polyTrim got %v", got)
+	}
+	got = polyTrim([]byte{0, 0, 0})
+	if len(got) != 1 || got[0] != 0 {
+		t.Fatalf("polyTrim of zero poly got %v", got)
+	}
+}

@@ -1,0 +1,346 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RS is a systematic Reed–Solomon code over GF(2^8) with n total symbols of
+// which k are data and r = n−k are check symbols. It corrects up to r/2
+// symbol errors at unknown positions, up to r erasures at known positions,
+// or any combination with 2·errors + erasures ≤ r.
+//
+// Memory ECCs in this repository map one DRAM device to one code symbol, so
+// "chip kill" is either a single-symbol error (position unknown, found by the
+// decoder) or a single-symbol erasure (position known from a chip-level fault
+// record, which halves the check-symbol cost).
+type RS struct {
+	n, k int
+	gen  []byte // generator polynomial, highest degree first, degree r
+}
+
+// Errors reported by the decoder. ErrDetected means errors were detected but
+// exceeded the code's correction capability.
+var (
+	ErrDetected  = errors.New("gf/rs: uncorrectable error detected")
+	ErrBadLength = errors.New("gf/rs: codeword length mismatch")
+)
+
+// NewRS builds an (n, k) code. It panics on invalid geometry since code
+// geometry is always a compile-time-style constant in this repository.
+func NewRS(n, k int) *RS {
+	if n > Order-1 || k <= 0 || k >= n {
+		panic(fmt.Sprintf("gf/rs: invalid geometry n=%d k=%d", n, k))
+	}
+	r := n - k
+	gen := []byte{1}
+	for i := 0; i < r; i++ {
+		gen = PolyMul(gen, []byte{1, Exp(i)})
+	}
+	return &RS{n: n, k: k, gen: gen}
+}
+
+// N returns the total number of symbols per codeword.
+func (c *RS) N() int { return c.n }
+
+// K returns the number of data symbols per codeword.
+func (c *RS) K() int { return c.k }
+
+// R returns the number of check symbols per codeword.
+func (c *RS) R() int { return c.n - c.k }
+
+// Encode appends r check symbols to data (len(data) must be k) and returns
+// the full n-symbol codeword: data followed by checks.
+func (c *RS) Encode(data []byte) []byte {
+	if len(data) != c.k {
+		panic(ErrBadLength)
+	}
+	r := c.R()
+	cw := make([]byte, c.n)
+	copy(cw, data)
+	// Polynomial long division of data·x^r by the generator; the remainder
+	// is the check-symbol block.
+	rem := make([]byte, r)
+	for _, d := range data {
+		factor := d ^ rem[0]
+		copy(rem, rem[1:])
+		rem[r-1] = 0
+		if factor != 0 {
+			for j := 0; j < r; j++ {
+				// gen[0] is always 1; skip it, apply to the rest.
+				rem[j] ^= Mul(c.gen[j+1], factor)
+			}
+		}
+	}
+	copy(cw[c.k:], rem)
+	return cw
+}
+
+// Checks returns only the r check symbols for data.
+func (c *RS) Checks(data []byte) []byte {
+	cw := c.Encode(data)
+	return cw[c.k:]
+}
+
+// Syndromes computes the r syndromes of a codeword. All-zero syndromes mean
+// the codeword is consistent (no detectable error).
+func (c *RS) Syndromes(cw []byte) []byte {
+	if len(cw) != c.n {
+		panic(ErrBadLength)
+	}
+	r := c.R()
+	syn := make([]byte, r)
+	for i := 0; i < r; i++ {
+		syn[i] = PolyEval(cw, Exp(i))
+	}
+	return syn
+}
+
+// HasError reports whether the codeword fails the consistency check.
+func (c *RS) HasError(cw []byte) bool {
+	for _, s := range c.Syndromes(cw) {
+		if s != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Decode corrects the codeword in place using unknown-position error
+// decoding, then returns the data portion. It returns ErrDetected if the
+// error pattern exceeds r/2 symbol errors.
+func (c *RS) Decode(cw []byte) ([]byte, error) {
+	return c.DecodeErasures(cw, nil)
+}
+
+// DecodeErasures corrects the codeword in place given a (possibly empty) set
+// of known-bad symbol positions, handling additional unknown-position errors
+// while 2·errors + erasures ≤ r. It returns the corrected data portion.
+func (c *RS) DecodeErasures(cw []byte, erasures []int) ([]byte, error) {
+	if len(cw) != c.n {
+		return nil, ErrBadLength
+	}
+	r := c.R()
+	if len(erasures) > r {
+		return nil, ErrDetected
+	}
+	for _, p := range erasures {
+		if p < 0 || p >= c.n {
+			return nil, fmt.Errorf("gf/rs: erasure position %d out of range", p)
+		}
+	}
+	syn := c.Syndromes(cw)
+	if allZero(syn) {
+		return cw[:c.k], nil
+	}
+
+	// Erasure locator Γ(x) = Π (1 − x·α^{e_i}) where e_i is the power
+	// coordinate of the erased position. Positions index the codeword
+	// left-to-right, i.e. coefficient of x^{n-1-pos}.
+	gamma := []byte{1}
+	for _, p := range erasures {
+		gamma = PolyMul(gamma, []byte{Exp(c.n - 1 - p), 1})
+	}
+
+	// Modified syndromes: Ξ(x) = Γ(x)·S(x) mod x^r, with S as a polynomial
+	// whose coefficient of x^i is syn[i] (lowest degree first).
+	modSyn := modifiedSyndromes(syn, gamma, r)
+
+	// Berlekamp–Massey on the modified syndromes finds the error locator
+	// for the unknown-position errors.
+	numErasures := len(erasures)
+	sigma, err := berlekampMassey(modSyn, r, numErasures)
+	if err != nil {
+		return nil, err
+	}
+
+	// Combined locator Ψ = σ·Γ covers both errors and erasures.
+	psi := polyTrim(PolyMul(sigma, gamma))
+
+	positions, err := chienSearch(psi, c.n)
+	if err != nil {
+		return nil, err
+	}
+
+	// Forney: error evaluator Ω(x) = Ψ(x)·S(x) mod x^r.
+	omega := polyMulMod(reverse(psi), syn, r)
+
+	if err := forneyCorrect(cw, psi, omega, positions, c.n); err != nil {
+		return nil, err
+	}
+	if c.HasError(cw) {
+		return nil, ErrDetected
+	}
+	return cw[:c.k], nil
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// reverse returns p with coefficient order flipped (highest-first ↔
+// lowest-first).
+func reverse(p []byte) []byte {
+	out := make([]byte, len(p))
+	for i, c := range p {
+		out[len(p)-1-i] = c
+	}
+	return out
+}
+
+// polyMulMod multiplies two lowest-degree-first polynomials modulo x^r.
+func polyMulMod(a, b []byte, r int) []byte {
+	out := make([]byte, r)
+	for i, ca := range a {
+		if ca == 0 || i >= r {
+			continue
+		}
+		for j, cb := range b {
+			if i+j >= r {
+				break
+			}
+			out[i+j] ^= Mul(ca, cb)
+		}
+	}
+	return out
+}
+
+// modifiedSyndromes computes Γ(x)·S(x) mod x^r with both polynomials in
+// lowest-degree-first order. gamma arrives highest-first.
+func modifiedSyndromes(syn, gamma []byte, r int) []byte {
+	return polyMulMod(reverse(gamma), syn, r)
+}
+
+// berlekampMassey finds the error locator polynomial (lowest-degree-first,
+// returned highest-first) for the given syndrome sequence. numErasures check
+// symbols are already consumed by the erasure locator, so at most
+// (r − numErasures)/2 unknown errors can be located.
+func berlekampMassey(syn []byte, r, numErasures int) ([]byte, error) {
+	// Work lowest-degree-first internally.
+	sigma := []byte{1}
+	prev := []byte{1}
+	var l int
+	var m = 1
+	var b byte = 1
+	for n := 0; n < r-numErasures; n++ {
+		var d byte
+		d = syn[n+numErasures]
+		for i := 1; i <= l; i++ {
+			if i < len(sigma) && n+numErasures-i >= 0 {
+				d ^= Mul(sigma[i], syn[n+numErasures-i])
+			}
+		}
+		if d == 0 {
+			m++
+			continue
+		}
+		if 2*l <= n {
+			tmp := make([]byte, len(sigma))
+			copy(tmp, sigma)
+			coef := Div(d, b)
+			shifted := make([]byte, len(prev)+m)
+			for i, c := range prev {
+				shifted[i+m] = Mul(c, coef)
+			}
+			sigma = addLow(sigma, shifted)
+			l = n + 1 - l
+			prev = tmp
+			b = d
+			m = 1
+		} else {
+			coef := Div(d, b)
+			shifted := make([]byte, len(prev)+m)
+			for i, c := range prev {
+				shifted[i+m] = Mul(c, coef)
+			}
+			sigma = addLow(sigma, shifted)
+			m++
+		}
+	}
+	if 2*l > r-numErasures {
+		return nil, ErrDetected
+	}
+	// Return highest-degree-first for PolyEval-style use.
+	return polyTrim(reverse(sigma)), nil
+}
+
+// addLow adds two lowest-degree-first polynomials.
+func addLow(a, b []byte) []byte {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	out := make([]byte, len(a))
+	copy(out, a)
+	for i, c := range b {
+		out[i] ^= c
+	}
+	return out
+}
+
+// chienSearch finds codeword positions whose field points are roots of the
+// locator polynomial psi (highest-degree-first).
+func chienSearch(psi []byte, n int) ([]int, error) {
+	degree := len(psi) - 1
+	if degree == 0 {
+		return nil, ErrDetected
+	}
+	positions := make([]int, 0, degree)
+	for pos := 0; pos < n; pos++ {
+		// Position pos corresponds to locator root α^{−(n−1−pos)}.
+		x := Exp((Order - 1) - (n-1-pos)%(Order-1))
+		if PolyEval(psi, x) == 0 {
+			positions = append(positions, pos)
+		}
+	}
+	if len(positions) != degree {
+		return nil, ErrDetected
+	}
+	return positions, nil
+}
+
+// forneyCorrect applies Forney's algorithm to compute error magnitudes and
+// repair the codeword in place.
+func forneyCorrect(cw, psi, omega []byte, positions []int, n int) error {
+	// psi is highest-first; omega is lowest-first (mod x^r).
+	// Formal derivative of psi in lowest-first order.
+	psiLow := reverse(psi)
+	deriv := make([]byte, 0, len(psiLow)-1)
+	for i := 1; i < len(psiLow); i++ {
+		if i%2 == 1 {
+			deriv = append(deriv, psiLow[i])
+		} else {
+			deriv = append(deriv, 0)
+		}
+	}
+	// deriv as lowest-first polynomial where term i is coefficient of x^i
+	// from the derivative: d/dx Σ c_i x^i = Σ i·c_i x^{i−1}; over GF(2)
+	// i·c_i is c_i when i odd, 0 when even.
+	for _, pos := range positions {
+		e := (n - 1 - pos) % (Order - 1)
+		xInv := Exp((Order - 1) - e) // α^{−e}, i.e. X_i^{−1}
+		num := evalLow(omega, xInv)
+		den := evalLow(deriv, xInv)
+		if den == 0 {
+			return ErrDetected
+		}
+		// Syndromes start at α^0 (b = 0), so the Forney magnitude carries
+		// an extra factor of X_i: e_i = X_i·Ω(X_i^{−1})/Λ'(X_i^{−1}).
+		mag := Mul(Exp(e), Div(num, den))
+		cw[pos] ^= mag
+	}
+	return nil
+}
+
+// evalLow evaluates a lowest-degree-first polynomial at x.
+func evalLow(p []byte, x byte) byte {
+	var y byte
+	for i := len(p) - 1; i >= 0; i-- {
+		y = Mul(y, x) ^ p[i]
+	}
+	return y
+}

@@ -1,0 +1,349 @@
+package gf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// geometries used by the memory ECCs in this repository.
+var geometries = []struct{ n, k int }{
+	{36, 32}, // 36-device commercial chipkill: 4 check symbols
+	{18, 16}, // 18-device commercial chipkill: 2 check symbols
+	{10, 8},  // modified LOT-ECC5 inter-device code (§VI-D)
+	{5, 4},   // RAIM-style cross-DIMM stripe
+	{255, 223},
+}
+
+func randData(r *rand.Rand, k int) []byte {
+	d := make([]byte, k)
+	r.Read(d)
+	return d
+}
+
+func TestEncodeIsSystematic(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		d := randData(r, g.k)
+		cw := c.Encode(d)
+		if !bytes.Equal(cw[:g.k], d) {
+			t.Fatalf("(%d,%d): codeword prefix must equal data", g.n, g.k)
+		}
+	}
+}
+
+func TestCleanCodewordHasZeroSyndromes(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		for trial := 0; trial < 50; trial++ {
+			cw := c.Encode(randData(r, g.k))
+			if c.HasError(cw) {
+				t.Fatalf("(%d,%d): clean codeword reported errors", g.n, g.k)
+			}
+		}
+	}
+}
+
+func TestSingleErrorCorrection(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		if c.R() < 2 {
+			// A single check symbol only detects; unknown-position
+			// correction needs R ≥ 2 (RAIM corrects via erasures instead).
+			continue
+		}
+		for trial := 0; trial < 100; trial++ {
+			d := randData(r, g.k)
+			cw := c.Encode(d)
+			pos := r.Intn(g.n)
+			cw[pos] ^= byte(1 + r.Intn(255))
+			got, err := c.Decode(cw)
+			if err != nil {
+				t.Fatalf("(%d,%d) trial %d: decode failed: %v", g.n, g.k, trial, err)
+			}
+			if !bytes.Equal(got, d) {
+				t.Fatalf("(%d,%d) trial %d: wrong correction", g.n, g.k, trial)
+			}
+		}
+	}
+}
+
+func TestMaxErrorCorrection(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		tmax := c.R() / 2
+		if tmax == 0 {
+			continue
+		}
+		for trial := 0; trial < 50; trial++ {
+			d := randData(r, g.k)
+			cw := c.Encode(d)
+			positions := r.Perm(g.n)[:tmax]
+			for _, p := range positions {
+				cw[p] ^= byte(1 + r.Intn(255))
+			}
+			got, err := c.Decode(cw)
+			if err != nil {
+				t.Fatalf("(%d,%d): decode of %d errors failed: %v", g.n, g.k, tmax, err)
+			}
+			if !bytes.Equal(got, d) {
+				t.Fatalf("(%d,%d): wrong correction of %d errors", g.n, g.k, tmax)
+			}
+		}
+	}
+}
+
+func TestTooManyErrorsDetected(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	// With r check symbols, r/2+1 errors must not be silently "corrected"
+	// to the original data; they should usually be flagged. (Miscorrection
+	// to a *different* valid codeword is possible for any RS code; what must
+	// never happen is returning the original data unflagged.)
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		overload := c.R()/2 + 1
+		flagged := 0
+		const trials = 100
+		for trial := 0; trial < trials; trial++ {
+			d := randData(r, g.k)
+			cw := c.Encode(d)
+			positions := r.Perm(g.n)[:overload]
+			for _, p := range positions {
+				cw[p] ^= byte(1 + r.Intn(255))
+			}
+			got, err := c.Decode(cw)
+			if err != nil {
+				flagged++
+				continue
+			}
+			if bytes.Equal(got, d) {
+				t.Fatalf("(%d,%d): %d errors silently vanished", g.n, g.k, overload)
+			}
+		}
+		if flagged == 0 {
+			t.Fatalf("(%d,%d): no overload pattern was ever flagged", g.n, g.k)
+		}
+	}
+}
+
+func TestErasureOnlyDecoding(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, g := range geometries {
+		c := NewRS(g.n, g.k)
+		// Up to R erasures are correctable when positions are known.
+		for numErase := 1; numErase <= c.R(); numErase++ {
+			d := randData(r, g.k)
+			cw := c.Encode(d)
+			positions := r.Perm(g.n)[:numErase]
+			for _, p := range positions {
+				cw[p] ^= byte(1 + r.Intn(255))
+			}
+			got, err := c.DecodeErasures(cw, positions)
+			if err != nil {
+				t.Fatalf("(%d,%d): %d-erasure decode failed: %v", g.n, g.k, numErase, err)
+			}
+			if !bytes.Equal(got, d) {
+				t.Fatalf("(%d,%d): wrong %d-erasure correction", g.n, g.k, numErase)
+			}
+		}
+	}
+}
+
+func TestErasurePlusErrorDecoding(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	// 2·errors + erasures ≤ R. Use the (36,32) chipkill geometry: 1 erasure
+	// + 1 unknown error fits in R=4.
+	c := NewRS(36, 32)
+	for trial := 0; trial < 100; trial++ {
+		d := randData(r, 32)
+		cw := c.Encode(d)
+		perm := r.Perm(36)
+		erasePos, errPos := perm[0], perm[1]
+		cw[erasePos] ^= byte(1 + r.Intn(255))
+		cw[errPos] ^= byte(1 + r.Intn(255))
+		got, err := c.DecodeErasures(cw, []int{erasePos})
+		if err != nil {
+			t.Fatalf("trial %d: decode failed: %v", trial, err)
+		}
+		if !bytes.Equal(got, d) {
+			t.Fatalf("trial %d: wrong correction", trial)
+		}
+	}
+}
+
+func TestErasureAtZeroMagnitudeIsNoop(t *testing.T) {
+	// Declaring an erasure at a position that is actually intact must still
+	// decode to the original data.
+	r := rand.New(rand.NewSource(8))
+	c := NewRS(18, 16)
+	d := randData(r, 16)
+	cw := c.Encode(d)
+	got, err := c.DecodeErasures(cw, []int{5})
+	if err != nil {
+		t.Fatalf("decode failed: %v", err)
+	}
+	if !bytes.Equal(got, d) {
+		t.Fatal("intact erasure position corrupted data")
+	}
+}
+
+func TestTooManyErasuresRejected(t *testing.T) {
+	c := NewRS(10, 8)
+	cw := c.Encode(make([]byte, 8))
+	if _, err := c.DecodeErasures(cw, []int{0, 1, 2}); err == nil {
+		t.Fatal("3 erasures with R=2 must be rejected")
+	}
+}
+
+func TestBadLengthRejected(t *testing.T) {
+	c := NewRS(10, 8)
+	if _, err := c.Decode(make([]byte, 9)); err != ErrBadLength {
+		t.Fatalf("want ErrBadLength, got %v", err)
+	}
+}
+
+func TestDecodePreservesCleanData(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewRS(18, 16)
+		d := randData(r, 16)
+		cw := c.Encode(d)
+		got, err := c.Decode(cw)
+		return err == nil && bytes.Equal(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTripProperty(t *testing.T) {
+	// Property: for all data and all single-symbol corruptions, decode
+	// restores the data exactly.
+	f := func(seed int64, posRaw, magRaw byte) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewRS(36, 32)
+		d := randData(r, 32)
+		cw := c.Encode(d)
+		pos := int(posRaw) % 36
+		mag := magRaw
+		if mag == 0 {
+			mag = 1
+		}
+		cw[pos] ^= mag
+		got, err := c.Decode(cw)
+		return err == nil && bytes.Equal(got, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksMatchEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	c := NewRS(36, 32)
+	d := randData(r, 32)
+	cw := c.Encode(d)
+	if !bytes.Equal(c.Checks(d), cw[32:]) {
+		t.Fatal("Checks must equal the check portion of Encode")
+	}
+}
+
+func TestChecksAreLinear(t *testing.T) {
+	// RS over GF(2^8) is linear: checks(a⊕b) = checks(a)⊕checks(b).
+	// The ECC Parity overlay depends on this property: XORing correction
+	// bits across channels is meaningful only because the code is linear.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewRS(18, 16)
+		a := randData(r, 16)
+		b := randData(r, 16)
+		ab := make([]byte, 16)
+		for i := range ab {
+			ab[i] = a[i] ^ b[i]
+		}
+		ca, cb, cab := c.Checks(a), c.Checks(b), c.Checks(ab)
+		for i := range cab {
+			if cab[i] != ca[i]^cb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRSInvalidGeometryPanics(t *testing.T) {
+	for _, g := range []struct{ n, k int }{{256, 128}, {10, 10}, {10, 0}, {5, 6}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewRS(%d,%d) must panic", g.n, g.k)
+				}
+			}()
+			NewRS(g.n, g.k)
+		}()
+	}
+}
+
+func BenchmarkEncode36(b *testing.B) {
+	c := NewRS(36, 32)
+	d := make([]byte, 32)
+	for i := range d {
+		d[i] = byte(i * 7)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Encode(d)
+	}
+}
+
+func BenchmarkDecodeClean36(b *testing.B) {
+	c := NewRS(36, 32)
+	d := make([]byte, 32)
+	cw := c.Encode(d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := append([]byte(nil), cw...)
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOneError36(b *testing.B) {
+	c := NewRS(36, 32)
+	d := make([]byte, 32)
+	for i := range d {
+		d[i] = byte(i)
+	}
+	cw := c.Encode(d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := append([]byte(nil), cw...)
+		buf[5] ^= 0xA5
+		if _, err := c.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErasureDecode10(b *testing.B) {
+	c := NewRS(10, 8)
+	d := make([]byte, 8)
+	cw := c.Encode(d)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := append([]byte(nil), cw...)
+		buf[3] ^= 0xFF
+		if _, err := c.DecodeErasures(buf, []int{3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package mem
+
+// AddressMapper implements the paper's device address mapping policy:
+// adjacent physical pages interleave across channels (balancing channel
+// bandwidth), and within a channel a high-performance map spreads
+// consecutive lines across banks and ranks to maximize bank-level
+// parallelism (DRAMsim's High_Performance_Map).
+type AddressMapper struct {
+	Channels        int
+	RanksPerChannel int
+	BanksPerRank    int
+	LineBytes       int
+	PageBytes       int
+	// RowBufferFriendly keeps all lines of a page in one bank row (for
+	// the open-page ablation) instead of interleaving lines across banks
+	// (the close-page high-performance map).
+	RowBufferFriendly bool
+}
+
+// NewAddressMapper builds a mapper with 4KB pages.
+func NewAddressMapper(channels, ranks, banks, lineBytes int) *AddressMapper {
+	return &AddressMapper{
+		Channels:        channels,
+		RanksPerChannel: ranks,
+		BanksPerRank:    banks,
+		LineBytes:       lineBytes,
+		PageBytes:       4096,
+	}
+}
+
+// Location is a physical placement of one memory line.
+type Location struct {
+	Channel int
+	Rank    int
+	Bank    int
+	Row     int
+}
+
+// Map places a byte address.
+func (m *AddressMapper) Map(addr uint64) Location {
+	line := addr / uint64(m.LineBytes)
+	page := addr / uint64(m.PageBytes)
+	channel := int(page % uint64(m.Channels))
+	// Within the channel: interleave consecutive lines of a page across
+	// banks, and consecutive pages across ranks, so independent streams
+	// land on independent banks.
+	chPage := page / uint64(m.Channels)
+	if m.RowBufferFriendly {
+		bank := int(chPage % uint64(m.BanksPerRank))
+		rest := chPage / uint64(m.BanksPerRank)
+		rank := int(rest % uint64(m.RanksPerChannel))
+		row := int(rest / uint64(m.RanksPerChannel))
+		return Location{Channel: channel, Rank: rank, Bank: bank, Row: row}
+	}
+	lineInPage := line % uint64(m.PageBytes/m.LineBytes)
+	bank := int(lineInPage % uint64(m.BanksPerRank))
+	rank := int(chPage % uint64(m.RanksPerChannel))
+	row := int(chPage / uint64(m.RanksPerChannel))
+	return Location{Channel: channel, Rank: rank, Bank: bank, Row: row}
+}

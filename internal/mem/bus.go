@@ -1,0 +1,52 @@
+package mem
+
+// busAllocator hands out data-bus time slots of tBurst cycles each. Unlike
+// a single "free after X" frontier, it backfills: a request whose bank was
+// busy far into the future takes a slot at its own ready time without
+// blocking earlier idle slots for everyone else. This models an
+// out-of-order command scheduler's data bus exactly at burst granularity.
+//
+// Implementation: slot index → next-free-slot forwarding pointers with
+// path compression (the disjoint-set "allocate successive integers" trick),
+// so alloc is amortized near-O(1) and memory is one map entry per used
+// slot.
+type busAllocator struct {
+	slotCycles float64
+	next       map[int64]int64
+}
+
+func newBusAllocator(tBurst int) *busAllocator {
+	return &busAllocator{slotCycles: float64(tBurst), next: make(map[int64]int64)}
+}
+
+// alloc reserves the first free slot starting at or after `earliest` and
+// returns its start time in cycles.
+func (b *busAllocator) alloc(earliest float64) float64 {
+	s := int64(earliest / b.slotCycles)
+	if float64(s)*b.slotCycles < earliest {
+		s++
+	}
+	s = b.find(s)
+	b.next[s] = s + 1
+	return float64(s) * b.slotCycles
+}
+
+// find follows forwarding pointers to the first free slot ≥ s, compressing
+// the path as it goes.
+func (b *busAllocator) find(s int64) int64 {
+	root := s
+	for {
+		n, used := b.next[root]
+		if !used {
+			break
+		}
+		root = n
+	}
+	// Path compression.
+	for s != root {
+		n := b.next[s]
+		b.next[s] = root
+		s = n
+	}
+	return root
+}

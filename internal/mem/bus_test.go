@@ -1,0 +1,71 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBusAllocatorSequential(t *testing.T) {
+	b := newBusAllocator(4)
+	if got := b.alloc(0); got != 0 {
+		t.Fatalf("first slot %v", got)
+	}
+	if got := b.alloc(0); got != 4 {
+		t.Fatalf("second slot %v", got)
+	}
+	if got := b.alloc(0); got != 8 {
+		t.Fatalf("third slot %v", got)
+	}
+}
+
+func TestBusAllocatorBackfill(t *testing.T) {
+	b := newBusAllocator(4)
+	// A far-future reservation must not block earlier slots.
+	if got := b.alloc(1000); got != 1000 {
+		t.Fatalf("future slot %v", got)
+	}
+	if got := b.alloc(0); got != 0 {
+		t.Fatalf("backfill slot %v, want 0", got)
+	}
+	if got := b.alloc(998); got != 1004 {
+		t.Fatalf("slot adjacent to reservation %v, want 1004", got)
+	}
+}
+
+func TestBusAllocatorRoundsUp(t *testing.T) {
+	b := newBusAllocator(4)
+	if got := b.alloc(3); got != 4 {
+		t.Fatalf("unaligned request got %v, want 4", got)
+	}
+	if got := b.alloc(4); got != 8 {
+		t.Fatalf("got %v, want 8", got)
+	}
+}
+
+func TestBusAllocatorNoDoubleBooking(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		b := newBusAllocator(4)
+		seen := map[float64]bool{}
+		for _, r := range reqs {
+			s := b.alloc(float64(r % 1000))
+			if s < float64(r%1000) {
+				return false // allocated before the request was ready
+			}
+			if seen[s] {
+				return false // same slot handed out twice
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBusAllocator(b *testing.B) {
+	a := newBusAllocator(4)
+	for i := 0; i < b.N; i++ {
+		a.alloc(float64(i % 4096))
+	}
+}

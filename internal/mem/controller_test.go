@@ -1,0 +1,397 @@
+package mem
+
+import (
+	"math"
+	"testing"
+
+	"eccparity/internal/dram"
+)
+
+func testConfig(channels, ranks int, chips []dram.Chip) Config {
+	return Config{
+		Channels:           channels,
+		RanksPerChannel:    ranks,
+		BanksPerRank:       DefaultBanksPerRank,
+		Chips:              chips,
+		Timing:             dram.DDR3Timing1GHz(),
+		PowerDownThreshold: DefaultPowerDownThreshold,
+		LineBytes:          64,
+	}
+}
+
+func x8Rank(n int) []dram.Chip {
+	chips := make([]dram.Chip, n)
+	for i := range chips {
+		chips[i] = dram.Chip2GbDDR3(dram.X8)
+	}
+	return chips
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-channel config must panic")
+		}
+	}()
+	NewController(Config{})
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	tm := dram.DDR3Timing1GHz()
+	done := c.Access(0, 0, 0, 0, false, ClassData)
+	want := float64(tm.TRCD + tm.CL + tm.TBurst)
+	if done != want {
+		t.Fatalf("idle-system read latency %v, want %v", done, want)
+	}
+}
+
+func TestBankConflictSerializes(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	tm := dram.DDR3Timing1GHz()
+	first := c.Access(0, 0, 0, 0, false, ClassData)
+	second := c.Access(1, 0, 0, 0, false, ClassData)
+	if second < float64(tm.TRC)+float64(tm.TRCD+tm.CL+tm.TBurst) {
+		t.Fatalf("same-bank back-to-back read finished at %v, too early (first %v)", second, first)
+	}
+}
+
+func TestDifferentBanksOverlap(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	tm := dram.DDR3Timing1GHz()
+	_ = c.Access(0, 0, 0, 0, false, ClassData)
+	second := c.Access(1, 0, 0, 1, false, ClassData)
+	// Bank-parallel: the second activate waits only for tRRD (not tRC),
+	// and the data bus pipelines, so the second read completes well before
+	// a serialized tRC would allow.
+	latest := 1.0 + float64(tm.TRRD+tm.TRCD+tm.CL+2*tm.TBurst)
+	if second > latest {
+		t.Fatalf("bank-parallel read finished at %v, want ≤ %v", second, latest)
+	}
+	serialized := float64(tm.TRC + tm.TRCD + tm.CL + tm.TBurst)
+	if second >= serialized {
+		t.Fatalf("bank-parallel read at %v should beat same-bank serialization (%v)", second, serialized)
+	}
+}
+
+func TestBusSerializesBursts(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	tm := dram.DDR3Timing1GHz()
+	var last float64
+	for i := 0; i < 8; i++ {
+		last = c.Access(0, 0, 0, i, false, ClassData)
+	}
+	// Eight simultaneous requests to eight banks: the bus delivers one
+	// burst per tBurst, so the last finishes no earlier than first-latency
+	// + 7 bursts.
+	min := float64(tm.TRCD+tm.CL+tm.TBurst) + 7*float64(tm.TBurst)
+	if last < min {
+		t.Fatalf("burst pipeline too fast: %v < %v", last, min)
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	c := NewController(testConfig(2, 1, x8Rank(9)))
+	d0 := c.Access(0, 0, 0, 0, false, ClassData)
+	d1 := c.Access(0, 1, 0, 0, false, ClassData)
+	if d0 != d1 {
+		t.Fatalf("independent channels must not interfere: %v vs %v", d0, d1)
+	}
+}
+
+func TestWakePenaltyAfterSleep(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	_ = c.Access(0, 0, 0, 0, false, ClassData)
+	// Arrive long after the power-down threshold.
+	arrive := float64(tm.TRC) + cfg.PowerDownThreshold + 10000
+	done := c.Access(arrive, 0, 0, 0, false, ClassData)
+	want := arrive + float64(tm.TXP) + float64(tm.TRCD+tm.CL+tm.TBurst)
+	// The burst may round up to the next bus slot boundary.
+	if done < want || done >= want+float64(tm.TBurst) {
+		t.Fatalf("post-sleep read done %v, want %v..%v (incl. tXP)", done, want, want+float64(tm.TBurst))
+	}
+	if c.Stats().SleepCycles <= 0 {
+		t.Fatal("sleep residency not recorded")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	c.Access(0, 0, 0, 0, false, ClassData)
+	c.Access(100, 0, 0, 1, true, ClassECC)
+	c.Finish(10000)
+	s := c.Stats()
+	if s.Reads[ClassData] != 1 || s.Writes[ClassECC] != 1 {
+		t.Fatalf("class counters wrong: %+v", s)
+	}
+	chip := dram.Chip2GbDDR3(dram.X8)
+	wantAct := 2 * 9 * chip.ActivateEnergy(cfg.Timing)
+	if math.Abs(s.ActivateEnergy-wantAct)/wantAct > 1e-9 {
+		t.Fatalf("activate energy %v, want %v", s.ActivateEnergy, wantAct)
+	}
+	wantBurst := 9 * (chip.ReadBurstEnergy(cfg.Timing) + chip.WriteBurstEnergy(cfg.Timing))
+	if math.Abs(s.BurstEnergy-wantBurst)/wantBurst > 1e-9 {
+		t.Fatalf("burst energy %v, want %v", s.BurstEnergy, wantBurst)
+	}
+	if s.RefreshEnergy <= 0 || s.StandbyEnergy <= 0 {
+		t.Fatalf("background energy missing: %+v", s)
+	}
+}
+
+func TestIdleSystemSleepsMostly(t *testing.T) {
+	// A rank left idle for a long horizon must accumulate nearly all of
+	// its background energy in the power-down state.
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	c.Access(0, 0, 0, 0, false, ClassData)
+	c.Finish(1e6)
+	s := c.Stats()
+	if s.PowerDownEnergy < 10*s.StandbyEnergy {
+		t.Fatalf("idle rank should sleep: pd=%v standby=%v", s.PowerDownEnergy, s.StandbyEnergy)
+	}
+}
+
+func TestBiggerRankCostsMoreEnergy(t *testing.T) {
+	// 36 chips vs 9 chips per rank: same access stream, ≈4× the dynamic
+	// energy. This is the paper's core energy mechanism.
+	small := NewController(testConfig(1, 1, x8Rank(9)))
+	big := NewController(testConfig(1, 1, x8Rank(36)))
+	for i := 0; i < 100; i++ {
+		small.Access(float64(i*100), 0, 0, i%8, i%3 == 0, ClassData)
+		big.Access(float64(i*100), 0, 0, i%8, i%3 == 0, ClassData)
+	}
+	small.Finish(20000)
+	big.Finish(20000)
+	ratio := big.Stats().DynamicEnergy() / small.Stats().DynamicEnergy()
+	if math.Abs(ratio-4) > 0.01 {
+		t.Fatalf("dynamic energy ratio %v, want ≈4", ratio)
+	}
+}
+
+func TestAvgReadLatency(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	c.Access(0, 0, 0, 0, false, ClassData)
+	c.Access(0, 0, 0, 0, false, ClassECC) // ECC reads excluded from latency stat
+	s := c.Stats()
+	if s.ReadLatencyCount != 1 {
+		t.Fatalf("latency samples %d, want 1", s.ReadLatencyCount)
+	}
+	if s.AvgReadLatency() <= 0 {
+		t.Fatal("missing latency")
+	}
+}
+
+func TestMapperDistribution(t *testing.T) {
+	m := NewAddressMapper(4, 2, 8, 64)
+	counts := make(map[int]int)
+	bankCounts := make(map[int]int)
+	for p := 0; p < 1024; p++ {
+		for l := 0; l < 4; l++ {
+			addr := uint64(p)*4096 + uint64(l)*64
+			loc := m.Map(addr)
+			counts[loc.Channel]++
+			bankCounts[loc.Bank]++
+			if loc.Channel < 0 || loc.Channel >= 4 || loc.Rank < 0 || loc.Rank >= 2 ||
+				loc.Bank < 0 || loc.Bank >= 8 {
+				t.Fatalf("mapping out of range: %+v", loc)
+			}
+		}
+	}
+	for ch := 0; ch < 4; ch++ {
+		if counts[ch] != 1024 {
+			t.Fatalf("channel %d got %d lines, want even spread", ch, counts[ch])
+		}
+	}
+	for b := 0; b < 4; b++ {
+		if bankCounts[b] == 0 {
+			t.Fatalf("bank %d unused", b)
+		}
+	}
+}
+
+func TestMapperAdjacentPagesDifferentChannels(t *testing.T) {
+	m := NewAddressMapper(4, 2, 8, 64)
+	l0 := m.Map(0)
+	l1 := m.Map(4096)
+	if l0.Channel == l1.Channel {
+		t.Fatal("adjacent pages must land on different channels")
+	}
+}
+
+func TestMapperAdjacentLinesDifferentBanks(t *testing.T) {
+	m := NewAddressMapper(4, 2, 8, 64)
+	l0 := m.Map(0)
+	l1 := m.Map(64)
+	if l0.Bank == l1.Bank {
+		t.Fatal("adjacent lines within a page must spread across banks")
+	}
+}
+
+func TestTRRDSpacesActivates(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	first := c.Access(0, 0, 0, 0, false, ClassData)
+	second := c.Access(0, 0, 0, 1, false, ClassData)
+	// The second activate must wait tRRD even though its bank is free.
+	if min := float64(tm.TRRD + tm.TRCD + tm.CL); second < min {
+		t.Fatalf("second read %v ignores tRRD (first %v)", second, first)
+	}
+}
+
+func TestTFAWLimitsActivateBursts(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	// Five simultaneous requests to five banks of one rank: the fifth
+	// activate must fall outside the tFAW window of the first four.
+	var fifth float64
+	for i := 0; i < 5; i++ {
+		fifth = c.Access(0, 0, 0, i, false, ClassData)
+	}
+	tfaw := 5 * float64(tm.TRRD)
+	if min := tfaw + float64(tm.TRCD+tm.CL+tm.TBurst); fifth < min {
+		t.Fatalf("fifth read %v violates tFAW (want ≥ %v)", fifth, min)
+	}
+}
+
+func TestMoreRanksDodgeTFAW(t *testing.T) {
+	// The rank-level-parallelism performance effect (§V-C): spreading the
+	// same five requests across two ranks finishes sooner than one rank.
+	one := NewController(testConfig(1, 1, x8Rank(9)))
+	two := NewController(testConfig(1, 2, x8Rank(9)))
+	var lastOne, lastTwo float64
+	for i := 0; i < 6; i++ {
+		lastOne = one.Access(0, 0, 0, i, false, ClassData)
+		lastTwo = two.Access(0, 0, i%2, i/2, false, ClassData)
+	}
+	if lastTwo >= lastOne {
+		t.Fatalf("two ranks (%v) must beat one rank (%v) under tFAW pressure", lastTwo, lastOne)
+	}
+}
+
+func TestWriteToReadTurnaround(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	wDone := c.Access(0, 0, 0, 0, true, ClassData)
+	rDone := c.Access(wDone, 0, 0, 1, false, ClassData)
+	// The read's activate must respect the write-to-read turnaround.
+	if min := wDone + float64(tm.TWR); rDone-float64(tm.TRCD+tm.CL+tm.TBurst) < min-0.001 {
+		t.Fatalf("read after write at %v ignores tWTR-class turnaround (write done %v)", rDone, wDone)
+	}
+}
+
+func TestRefreshBlackoutDelaysAccess(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	// Arrive exactly when the rank's first refresh is scheduled.
+	at := float64(tm.TREFI)
+	done := c.Access(at, 0, 0, 0, false, ClassData)
+	if done < at+float64(tm.TRFC) {
+		t.Fatalf("access during refresh finished at %v, want ≥ %v", done, at+float64(tm.TRFC))
+	}
+	// Well clear of any refresh, latency is nominal again.
+	at2 := at + float64(tm.TREFI)/2
+	done2 := c.Access(at2, 0, 0, 1, false, ClassData)
+	if done2 > at2+float64(tm.TXP+tm.TRCD+tm.CL+2*tm.TBurst) {
+		t.Fatalf("access between refreshes too slow: %v", done2-at2)
+	}
+}
+
+func TestRefreshStaggeredAcrossRanks(t *testing.T) {
+	cfg := testConfig(1, 4, x8Rank(9))
+	c := NewController(cfg)
+	tm := cfg.Timing
+	// Rank 0 refreshes at tREFI; rank 2 is offset and must not be blacked
+	// out at that moment.
+	at := float64(tm.TREFI)
+	d0 := c.Access(at, 0, 0, 0, false, ClassData)
+	d2 := c.Access(at, 0, 2, 0, false, ClassData)
+	if d0 <= d2 {
+		t.Fatalf("rank 0 should be refreshing (done %v) while rank 2 is free (done %v)", d0, d2)
+	}
+}
+
+func TestReadLatencyHistogram(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	for i := 0; i < 50; i++ {
+		c.Access(float64(i*200), 0, 0, i%8, false, ClassData)
+	}
+	h := &c.Stats().ReadLatencyHist
+	if h.N != 50 {
+		t.Fatalf("histogram samples %d, want 50", h.N)
+	}
+	if h.Mean() != c.Stats().AvgReadLatency() {
+		t.Fatalf("histogram mean %v disagrees with AvgReadLatency %v", h.Mean(), c.Stats().AvgReadLatency())
+	}
+	if h.Percentile(99) < h.Percentile(50) {
+		t.Fatal("latency percentiles inverted")
+	}
+}
+
+func TestOpenPageRowHit(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	cfg.OpenPage = true
+	c := NewController(cfg)
+	tm := cfg.Timing
+	first := c.AccessRow(0, 0, 0, 0, 5, false, ClassData)
+	second := c.AccessRow(first, 0, 0, 0, 5, false, ClassData)
+	// A row hit skips the activate: CAS latency only.
+	if want := first + float64(tm.CL+2*tm.TBurst); second > want {
+		t.Fatalf("row hit at %v, want ≤ %v", second, want)
+	}
+	if c.Stats().RowHits != 1 {
+		t.Fatalf("row hits %d", c.Stats().RowHits)
+	}
+	// Row hits skip activate energy: exactly one activate so far.
+	chip := dram.Chip2GbDDR3(dram.X8)
+	if got := c.Stats().ActivateEnergy; got != 9*chip.ActivateEnergy(tm) {
+		t.Fatalf("activate energy %v, want one activate", got)
+	}
+}
+
+func TestOpenPageRowConflict(t *testing.T) {
+	cfg := testConfig(1, 1, x8Rank(9))
+	cfg.OpenPage = true
+	c := NewController(cfg)
+	tm := cfg.Timing
+	first := c.AccessRow(0, 0, 0, 0, 5, false, ClassData)
+	conflict := c.AccessRow(first, 0, 0, 0, 9, false, ClassData)
+	// A conflict pays precharge + activate on top of CAS.
+	if min := first + float64(tm.TRP+tm.TRCD+tm.CL+tm.TBurst); conflict < min {
+		t.Fatalf("row conflict at %v, want ≥ %v", conflict, min)
+	}
+	if c.Stats().RowHits != 0 {
+		t.Fatal("conflict counted as hit")
+	}
+}
+
+func TestClosePageNeverRowHits(t *testing.T) {
+	c := NewController(testConfig(1, 1, x8Rank(9)))
+	for i := 0; i < 5; i++ {
+		c.AccessRow(float64(i*200), 0, 0, 0, 7, false, ClassData)
+	}
+	if c.Stats().RowHits != 0 {
+		t.Fatal("close-page must not register row hits")
+	}
+}
+
+func TestRowBufferFriendlyMap(t *testing.T) {
+	m := NewAddressMapper(4, 2, 8, 64)
+	m.RowBufferFriendly = true
+	l0 := m.Map(0)
+	l1 := m.Map(64)
+	if l0 != l1 {
+		t.Fatalf("lines of one page must share a row: %+v vs %+v", l0, l1)
+	}
+	// Different pages on the same channel land on different banks.
+	l2 := m.Map(4 * 4096) // next page on channel 0
+	if l2.Bank == l0.Bank && l2.Row == l0.Row {
+		t.Fatal("pages must spread across banks/rows")
+	}
+}

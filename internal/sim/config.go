@@ -1,0 +1,145 @@
+// Package sim assembles the full system simulation: eight workload-driven
+// cores (internal/cpu) over a shared LLC (internal/cache) over the
+// multi-channel memory controller (internal/mem), with each resilience
+// scheme's ECC-maintenance traffic modelled per §IV-C of the paper, and the
+// experiment runners that regenerate every evaluation figure.
+package sim
+
+import (
+	"fmt"
+
+	"eccparity/internal/dram"
+	"eccparity/internal/ecc"
+	"eccparity/internal/mem"
+)
+
+// SystemClass selects one of the two evaluated system sizes (§IV-B):
+// systems equivalent in physical bandwidth and size to a dual-channel or a
+// quad-channel commercial-ECC memory system.
+type SystemClass int
+
+// The two system classes.
+const (
+	DualEq SystemClass = iota
+	QuadEq
+)
+
+// String names the class.
+func (c SystemClass) String() string {
+	if c == DualEq {
+		return "dual-equivalent"
+	}
+	return "quad-equivalent"
+}
+
+// TrafficModel selects the ECC-maintenance traffic flows of a scheme.
+type TrafficModel int
+
+// Traffic models.
+const (
+	// TrafficInline: ECC bits live in the accessed rank; no extra requests
+	// (commercial chipkill, RAIM).
+	TrafficInline TrafficModel = iota
+	// TrafficECCLine: tiered schemes storing correction bits in separate
+	// memory lines, cached in the LLC; dirty-data evictions update the
+	// covering ECC line (fetch on miss, write on eviction) — LOT-ECC,
+	// Multi-ECC.
+	TrafficECCLine
+	// TrafficParity: the ECC Parity overlay; dirty-data evictions update
+	// an XOR cacheline (no fetch on miss — it is an accumulator), whose
+	// eviction costs a parity-line read plus write (§III-D / Fig. 7).
+	TrafficParity
+)
+
+// SchemeConfig is one evaluated resilience configuration (a Table II row).
+type SchemeConfig struct {
+	Key     string
+	Display string
+	Base    ecc.Scheme
+	Traffic TrafficModel
+	// LinesPerECCLine is the data-line coverage of one cached ECC line for
+	// TrafficECCLine schemes (4 for LOT-ECC5, 8 for LOT-ECC9, 16 for
+	// Multi-ECC's compacted T2EC).
+	LinesPerECCLine int
+}
+
+// Channels returns the logical channel count for a system class.
+func (s SchemeConfig) Channels(class SystemClass) int {
+	g := s.Base.Geometry()
+	if class == DualEq {
+		return g.ChannelsDualEq
+	}
+	return g.ChannelsQuadEq
+}
+
+// Schemes returns every evaluated configuration keyed as in the paper.
+func Schemes() map[string]SchemeConfig {
+	return map[string]SchemeConfig{
+		"chipkill36": {
+			Key: "chipkill36", Display: "36-device commercial chipkill",
+			Base: ecc.NewChipkill36(), Traffic: TrafficInline,
+		},
+		"chipkill18": {
+			Key: "chipkill18", Display: "18-device commercial chipkill",
+			Base: ecc.NewChipkill18(), Traffic: TrafficInline,
+		},
+		"lotecc5": {
+			Key: "lotecc5", Display: "LOT-ECC5",
+			Base: ecc.NewLOTECC5(), Traffic: TrafficECCLine, LinesPerECCLine: 4,
+		},
+		"lotecc9": {
+			Key: "lotecc9", Display: "LOT-ECC9",
+			Base: ecc.NewLOTECC9(), Traffic: TrafficECCLine, LinesPerECCLine: 8,
+		},
+		"multiecc": {
+			Key: "multiecc", Display: "Multi-ECC",
+			Base: ecc.NewMultiECC(), Traffic: TrafficECCLine, LinesPerECCLine: 16,
+		},
+		"lotecc5+parity": {
+			Key: "lotecc5+parity", Display: "LOT-ECC5 + ECC Parity",
+			Base: ecc.NewLOTECC5(), Traffic: TrafficParity,
+		},
+		"raim": {
+			Key: "raim", Display: "RAIM",
+			Base: ecc.NewRAIM(), Traffic: TrafficInline,
+		},
+		"raim+parity": {
+			Key: "raim+parity", Display: "RAIM + ECC Parity",
+			Base: ecc.NewRAIMParity(), Traffic: TrafficParity,
+		},
+	}
+}
+
+// SchemeByKey fetches a configuration; it panics on unknown keys (keys are
+// compile-time constants throughout this repository).
+func SchemeByKey(key string) SchemeConfig {
+	s, ok := Schemes()[key]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown scheme %q", key))
+	}
+	return s
+}
+
+// memConfig builds the controller configuration of a scheme in a class.
+func memConfig(sc SchemeConfig, class SystemClass) mem.Config {
+	g := sc.Base.Geometry()
+	chips := make([]dram.Chip, 0, g.ChipsPerRank())
+	widest := dram.X4
+	for _, cls := range g.Chips {
+		for i := 0; i < cls.Count; i++ {
+			chips = append(chips, dram.Chip2GbDDR3(dram.Width(cls.Width)))
+		}
+		if dram.Width(cls.Width) > widest {
+			widest = dram.Width(cls.Width)
+		}
+	}
+	return mem.Config{
+		Channels:           sc.Channels(class),
+		RanksPerChannel:    g.RanksPerChannel,
+		BanksPerRank:       mem.DefaultBanksPerRank,
+		Chips:              chips,
+		Timing:             dram.TimingForWidth(widest),
+		PowerDownThreshold: mem.DefaultPowerDownThreshold,
+		LineBytes:          g.LineSize,
+	}
+}

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"sort"
+
+	"eccparity/internal/core"
+	"eccparity/internal/ecc"
+	"eccparity/internal/faultmodel"
+	"eccparity/internal/stats"
+	"eccparity/internal/workload"
+)
+
+// This file contains the experiment runners, one per table/figure of the
+// paper's evaluation (see DESIGN.md §4 for the index).
+
+// ParityScheme and RAIMParityScheme are the two ECC-Parity configurations;
+// Baselines lists what each is compared against in Figs. 10–17.
+var (
+	ParityBaselines = []string{"chipkill36", "chipkill18", "lotecc9", "multiecc", "lotecc5"}
+	RAIMBaselines   = []string{"raim"}
+)
+
+// Option tweaks an Evaluation (tests shrink the runs).
+type Option func(*Config)
+
+// WithCycles overrides the measured window.
+func WithCycles(cycles float64) Option {
+	return func(c *Config) { c.MeasureCycles = cycles }
+}
+
+// WithWarmup overrides the per-core warmup accesses.
+func WithWarmup(n int) Option {
+	return func(c *Config) { c.WarmupAccesses = n }
+}
+
+// Evaluation holds the full (scheme × workload) result matrix for one
+// system class, from which Figs. 9–17 all derive.
+type Evaluation struct {
+	Class   SystemClass
+	Results map[string]map[string]Result // scheme key → workload → result
+}
+
+// NewEvaluation runs the matrix for the given schemes and workloads; nil
+// slices mean "all".
+func NewEvaluation(class SystemClass, schemeKeys, workloads []string, opts ...Option) *Evaluation {
+	if schemeKeys == nil {
+		schemeKeys = []string{"chipkill36", "chipkill18", "lotecc9", "multiecc", "lotecc5", "lotecc5+parity", "raim", "raim+parity"}
+	}
+	if workloads == nil {
+		workloads = workload.Names()
+	}
+	ev := &Evaluation{Class: class, Results: map[string]map[string]Result{}}
+	for _, sk := range schemeKeys {
+		ev.Results[sk] = map[string]Result{}
+		for _, wl := range workloads {
+			cfg := DefaultConfig(sk, class, wl)
+			for _, o := range opts {
+				o(&cfg)
+			}
+			ev.Results[sk][wl] = Run(cfg)
+		}
+	}
+	return ev
+}
+
+// Workloads returns the evaluated workload names in stable order.
+func (ev *Evaluation) Workloads() []string {
+	var any map[string]Result
+	for _, m := range ev.Results {
+		any = m
+		break
+	}
+	out := make([]string, 0, len(any))
+	for wl := range any {
+		out = append(out, wl)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// bin2Set returns the higher-bandwidth half of the evaluated workloads,
+// binned — as the paper bins them — by measured bandwidth on the
+// commercial chipkill system. Falls back to the static spec flags when the
+// matrix does not include chipkill36.
+func (ev *Evaluation) bin2Set() map[string]bool {
+	out := map[string]bool{}
+	ck, ok := ev.Results["chipkill36"]
+	if !ok {
+		for _, n := range workload.Bin2Names() {
+			out[n] = true
+		}
+		return out
+	}
+	wls := ev.Workloads()
+	sort.Slice(wls, func(i, j int) bool {
+		return ck[wls[i]].BandwidthGBs > ck[wls[j]].BandwidthGBs
+	})
+	for i, wl := range wls {
+		if i < len(wls)/2 {
+			out[wl] = true
+		}
+	}
+	return out
+}
+
+// Metric extracts one scalar from a Result.
+type Metric func(Result) float64
+
+// The metrics behind the figures.
+var (
+	MetricEPI           = func(r Result) float64 { return r.EPI }
+	MetricDynamicEPI    = func(r Result) float64 { return r.DynamicEPI }
+	MetricBackgroundEPI = func(r Result) float64 { return r.BackgroundEPI }
+	MetricIPC           = func(r Result) float64 { return r.IPC }
+	MetricAccesses      = func(r Result) float64 { return r.AccessesPerInstr }
+)
+
+// ComparisonRow is one workload's comparison of a subject scheme against
+// each baseline.
+type ComparisonRow struct {
+	Workload string
+	// Value[baseline] is either a reduction percentage (energy figures) or
+	// a normalized ratio subject/baseline (performance, accesses).
+	Value map[string]float64
+}
+
+// Comparison is a whole figure: per-workload rows plus Bin1/Bin2 means.
+type Comparison struct {
+	Subject   string
+	Baselines []string
+	Rows      []ComparisonRow
+	Bin1Mean  map[string]float64
+	Bin2Mean  map[string]float64
+	Mean      map[string]float64
+}
+
+// compare builds a Comparison. When reduction is true, values are
+// 100·(baseline−subject)/baseline; otherwise subject/baseline ratios.
+func (ev *Evaluation) compare(subject string, baselines []string, m Metric, reduction bool) Comparison {
+	cmp := Comparison{
+		Subject:   subject,
+		Baselines: baselines,
+		Bin1Mean:  map[string]float64{},
+		Bin2Mean:  map[string]float64{},
+		Mean:      map[string]float64{},
+	}
+	bin2 := ev.bin2Set()
+	acc := map[string]map[bool][]float64{}
+	for _, b := range baselines {
+		acc[b] = map[bool][]float64{}
+	}
+	for _, wl := range ev.Workloads() {
+		row := ComparisonRow{Workload: wl, Value: map[string]float64{}}
+		subj := m(ev.Results[subject][wl])
+		for _, b := range baselines {
+			base := m(ev.Results[b][wl])
+			var v float64
+			if reduction {
+				v = stats.ReductionPct(base, subj)
+			} else if base != 0 {
+				v = subj / base
+			}
+			row.Value[b] = v
+			acc[b][bin2[wl]] = append(acc[b][bin2[wl]], v)
+		}
+		cmp.Rows = append(cmp.Rows, row)
+	}
+	for _, b := range baselines {
+		cmp.Bin1Mean[b] = stats.Mean(acc[b][false])
+		cmp.Bin2Mean[b] = stats.Mean(acc[b][true])
+		cmp.Mean[b] = stats.Mean(append(append([]float64{}, acc[b][false]...), acc[b][true]...))
+	}
+	return cmp
+}
+
+// Fig10EPI (quad) / Fig11EPI (dual): memory EPI reduction of LOT-ECC5+ECC
+// Parity over the chipkill baselines.
+func (ev *Evaluation) Fig10EPI() Comparison {
+	return ev.compare("lotecc5+parity", ParityBaselines, MetricEPI, true)
+}
+
+// FigRAIMEPI: RAIM+ECC Parity vs RAIM (part of Figs. 10–11).
+func (ev *Evaluation) FigRAIMEPI() Comparison {
+	return ev.compare("raim+parity", RAIMBaselines, MetricEPI, true)
+}
+
+// Fig12Dynamic: dynamic EPI reduction (quad).
+func (ev *Evaluation) Fig12Dynamic() Comparison {
+	return ev.compare("lotecc5+parity", ParityBaselines, MetricDynamicEPI, true)
+}
+
+// Fig12DynamicRAIM: dynamic EPI reduction of RAIM+Parity vs RAIM.
+func (ev *Evaluation) Fig12DynamicRAIM() Comparison {
+	return ev.compare("raim+parity", RAIMBaselines, MetricDynamicEPI, true)
+}
+
+// Fig13Background: background EPI reduction (quad).
+func (ev *Evaluation) Fig13Background() Comparison {
+	return ev.compare("lotecc5+parity", ParityBaselines, MetricBackgroundEPI, true)
+}
+
+// Fig14Perf / Fig15Perf: performance (IPC) normalized to the baselines.
+func (ev *Evaluation) Fig14Perf() Comparison {
+	return ev.compare("lotecc5+parity", ParityBaselines, MetricIPC, false)
+}
+
+// Fig14PerfRAIM: RAIM+Parity performance normalized to RAIM.
+func (ev *Evaluation) Fig14PerfRAIM() Comparison {
+	return ev.compare("raim+parity", RAIMBaselines, MetricIPC, false)
+}
+
+// Fig16Accesses / Fig17Accesses: 64B-normalized memory accesses per
+// instruction, normalized to the baselines (lower is better).
+func (ev *Evaluation) Fig16Accesses() Comparison {
+	return ev.compare("lotecc5+parity", ParityBaselines, MetricAccesses, false)
+}
+
+// Fig9Row is one bar of the bandwidth characterization.
+type Fig9Row struct {
+	Workload    string
+	Utilization float64
+	GBs         float64
+	Bin2        bool
+}
+
+// Fig9Bandwidth characterizes the workloads on the dual-channel commercial
+// chipkill system, as the paper does.
+func Fig9Bandwidth(opts ...Option) []Fig9Row {
+	rows := make([]Fig9Row, 0, 16)
+	for _, spec := range workload.Specs() {
+		cfg := DefaultConfig("chipkill36", DualEq, spec.Name)
+		for _, o := range opts {
+			o(&cfg)
+		}
+		r := Run(cfg)
+		rows = append(rows, Fig9Row{Workload: spec.Name, Utilization: r.BandwidthUtil, GBs: r.BandwidthGBs, Bin2: spec.Bin2})
+	}
+	return rows
+}
+
+// Fig1Row is one scheme's capacity-overhead breakdown.
+type Fig1Row struct {
+	Scheme     string
+	Detection  float64
+	Correction float64
+}
+
+// Fig1CapacityBreakdown regenerates the detection/correction split for the
+// four schemes the paper plots.
+func Fig1CapacityBreakdown() []Fig1Row {
+	rows := []Fig1Row{}
+	for _, key := range []string{"chipkill36", "raim", "lotecc9", "lotecc5"} {
+		s := ecc.ByName(key)
+		o := s.Overheads()
+		rows = append(rows, Fig1Row{Scheme: s.Name(), Detection: o.Detection, Correction: o.Correction})
+	}
+	return rows
+}
+
+// Table3Row is one capacity-overhead row of Table III.
+type Table3Row struct {
+	Config   string
+	Overhead float64
+	EOL      float64 // zero when not applicable
+}
+
+// Table3Capacity regenerates Table III. The EOL columns use the Fig. 8
+// Monte Carlo marked fraction for the paper's 4-rank/9-chip topology.
+func Table3Capacity(mcTrials int, seed int64) []Table3Row {
+	frac := func(channels int) float64 {
+		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(channels), faultmodel.DefaultRates(),
+			7*faultmodel.HoursPerYear, mcTrials, seed)
+		return res.MeanFraction
+	}
+	lot5 := ecc.R(ecc.NewLOTECC5())
+	raimR := ecc.R(ecc.NewRAIMParity())
+	return []Table3Row{
+		{Config: "36-device commercial chipkill correct", Overhead: ecc.NewChipkill36().Overheads().Total()},
+		{Config: "18-device commercial chipkill correct", Overhead: ecc.NewChipkill18().Overheads().Total()},
+		{Config: "LOT-ECC9", Overhead: ecc.NewLOTECC9().Overheads().Total()},
+		{Config: "Multi-ECC", Overhead: ecc.NewMultiECC().Overheads().Total()},
+		{Config: "LOT-ECC5", Overhead: ecc.NewLOTECC5().Overheads().Total()},
+		{Config: "8 chan LOT-ECC5 + ECC Parity", Overhead: core.StaticOverhead(lot5, 8),
+			EOL: core.EOLOverhead(lot5, 8, frac(8))},
+		{Config: "4 chan LOT-ECC5 + ECC Parity", Overhead: core.StaticOverhead(lot5, 4),
+			EOL: core.EOLOverhead(lot5, 4, frac(4))},
+		{Config: "RAIM", Overhead: ecc.NewRAIM().Overheads().Total()},
+		{Config: "10 chan RAIM + ECC Parity", Overhead: core.StaticOverhead(raimR, 10),
+			EOL: core.EOLOverhead(raimR, 10, frac(10))},
+		{Config: "5 chan RAIM + ECC Parity", Overhead: core.StaticOverhead(raimR, 5),
+			EOL: core.EOLOverhead(raimR, 5, frac(5))},
+	}
+}
+
+// Fig2Row is one point of the mean-time-between-channel-faults curve.
+type Fig2Row struct {
+	FITPerChip float64
+	MeanDays   float64
+}
+
+// Fig2ChannelFaultGaps regenerates Fig. 2 analytically for the paper's
+// eight-channel topology.
+func Fig2ChannelFaultGaps() []Fig2Row {
+	topo := faultmodel.PaperTopology(8)
+	rows := []Fig2Row{}
+	for _, fit := range []float64{10, 20, 30, 44, 60, 80, 100} {
+		hours := faultmodel.MeanTimeBetweenChannelFaults(fit, topo)
+		rows = append(rows, Fig2Row{FITPerChip: fit, MeanDays: hours / 24})
+	}
+	return rows
+}
+
+// Fig8Row is one bar of the EOL correction-bit fraction study.
+type Fig8Row struct {
+	Channels int
+	Mean     float64
+	P999     float64
+}
+
+// Fig8EOLFractions regenerates Fig. 8 across channel counts.
+func Fig8EOLFractions(trials int, seed int64) []Fig8Row {
+	rows := []Fig8Row{}
+	for _, n := range []int{2, 4, 8, 16} {
+		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(n), faultmodel.DefaultRates(),
+			7*faultmodel.HoursPerYear, trials, seed)
+		rows = append(rows, Fig8Row{Channels: n, Mean: res.MeanFraction, P999: res.P999Fraction})
+	}
+	return rows
+}
+
+// Fig18Row is one curve point of the scrub-window study.
+type Fig18Row struct {
+	WindowHours float64
+	FITPerChip  float64
+	Probability float64
+}
+
+// Fig18ScrubWindows regenerates Fig. 18: probability of faults in more
+// than one channel within any single detection window over seven years.
+func Fig18ScrubWindows() []Fig18Row {
+	topo := faultmodel.PaperTopology(8)
+	rows := []Fig18Row{}
+	for _, fit := range []float64{25, 44, 100} {
+		for _, w := range []float64{1, 2, 4, 8, 24, 72, 168} {
+			rows = append(rows, Fig18Row{
+				WindowHours: w,
+				FITPerChip:  fit,
+				Probability: faultmodel.ProbMultiChannelInWindow(fit, topo, w, 7*faultmodel.HoursPerYear),
+			})
+		}
+	}
+	return rows
+}

@@ -1,0 +1,492 @@
+package sim
+
+import (
+	"fmt"
+
+	"eccparity/internal/cache"
+	"eccparity/internal/core"
+	"eccparity/internal/cpu"
+	"eccparity/internal/dram"
+	"eccparity/internal/ecc"
+	"eccparity/internal/mem"
+	"eccparity/internal/workload"
+)
+
+// Config drives one simulation run.
+type Config struct {
+	Scheme   SchemeConfig
+	Class    SystemClass
+	Workload workload.Spec
+	Cores    int
+	// WarmupAccesses is the number of LLC-only accesses per core used to
+	// reach cache steady state before timing begins (the paper warms the
+	// cache for a billion instructions; here the cache is warmed directly).
+	WarmupAccesses int
+	// MeasureCycles is the timed simulation window (the paper uses 10M
+	// cycles; the default here is smaller but statistics converge).
+	MeasureCycles float64
+	LLCBytes      int
+	LLCWays       int
+	Seed          int64
+	// MarkedBankFraction pre-marks a fraction of bank pairs as faulty,
+	// exercising the steady-state Step B/D flows of Fig. 6.
+	MarkedBankFraction float64
+	// DisableECCCaching turns off the Fig. 7 LLC optimizations: every
+	// parity/ECC-line update goes straight to memory as a read-modify-
+	// write. Used by the ablation benchmarks.
+	DisableECCCaching bool
+	// ScrubLineInterval, when nonzero, issues one scrubber read every
+	// that many cycles (round-robin over memory), modelling the §III-C
+	// periodic scan's bandwidth cost.
+	ScrubLineInterval float64
+	// PowerDownThreshold, when nonzero, overrides the rank idle-to-sleep
+	// threshold (cycles). Used by the sleep-policy ablation.
+	PowerDownThreshold float64
+	// SpeedBinFactor, when nonzero and ≠1, scales the DRAM frequency per
+	// §V-D's faster-speed-bin discussion (1.16 ≈ the paper's example).
+	SpeedBinFactor float64
+	// Sources, when non-nil, drives each core from the given access
+	// stream (e.g. replayed traces) instead of live generators; its
+	// length must equal Cores.
+	Sources []workload.Source
+	// OpenPage switches the controller to the open-page row-buffer policy
+	// with a row-buffer-friendly address map (the row-policy ablation; the
+	// paper evaluates close-page).
+	OpenPage bool
+}
+
+// DefaultConfig returns the standard evaluation configuration for one
+// scheme/class/workload cell.
+func DefaultConfig(schemeKey string, class SystemClass, workloadName string) Config {
+	spec, ok := workload.ByName(workloadName)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown workload %q", workloadName))
+	}
+	return Config{
+		Scheme:         SchemeByKey(schemeKey),
+		Class:          class,
+		Workload:       spec,
+		Cores:          8,
+		WarmupAccesses: 60000,
+		MeasureCycles:  400000,
+		LLCBytes:       8 << 20,
+		LLCWays:        16,
+		Seed:           1,
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	SchemeKey    string
+	Class        SystemClass
+	Workload     string
+	Instructions uint64
+	Cycles       float64
+	IPC          float64
+
+	Mem   mem.Stats
+	Cache cache.Stats
+
+	// Derived metrics matching the paper's figures.
+	EPI           float64 // memory energy per instruction, pJ (Figs. 10–11)
+	DynamicEPI    float64 // Fig. 12
+	BackgroundEPI float64 // Fig. 13
+	// AccessesPerInstr counts each 64B read or written as one access
+	// (Figs. 16–17).
+	AccessesPerInstr float64
+	// BandwidthUtil is the fraction of peak channel bandwidth used (Fig. 9).
+	BandwidthUtil float64
+	BandwidthGBs  float64
+}
+
+// engine holds one run's live state.
+type engine struct {
+	cfg      Config
+	ctrl     *mem.Controller
+	mapper   *mem.AddressMapper
+	llc      *cache.Cache
+	cores    []*cpu.Core
+	gens     []workload.Source
+	channels int
+	r        float64
+	line     int
+	marked   [][]bool // [channel][rank*banks+bank]
+	warm     bool
+	// lastMiss tracks each core's previous demand-miss address for the
+	// next-line stream prefetcher.
+	lastMiss []uint64
+	// inflight maps prefetched line addresses to their fill-completion
+	// time: a demand hit before the fill lands pays the residue ("late
+	// hit"), which keeps streams latency-sensitive.
+	inflight map[uint64]float64
+}
+
+// Run executes one simulation deterministically.
+func Run(cfg Config) Result {
+	e := newEngine(cfg)
+	e.warmup()
+	e.measure()
+	return e.collect()
+}
+
+func newEngine(cfg Config) *engine {
+	mc := memConfig(cfg.Scheme, cfg.Class)
+	if cfg.PowerDownThreshold > 0 {
+		mc.PowerDownThreshold = cfg.PowerDownThreshold
+	}
+	if cfg.SpeedBinFactor > 0 && cfg.SpeedBinFactor != 1 {
+		for i := range mc.Chips {
+			mc.Chips[i], mc.Timing = dram.SpeedBin(mc.Chips[i], dram.DDR3Timing1GHz(), cfg.SpeedBinFactor)
+		}
+	}
+	mc.OpenPage = cfg.OpenPage
+	g := cfg.Scheme.Base.Geometry()
+	mapper := mem.NewAddressMapper(mc.Channels, mc.RanksPerChannel, mc.BanksPerRank, g.LineSize)
+	mapper.RowBufferFriendly = cfg.OpenPage
+	e := &engine{
+		cfg:      cfg,
+		ctrl:     mem.NewController(mc),
+		mapper:   mapper,
+		llc:      cache.New(cfg.LLCBytes, cfg.LLCWays, g.LineSize),
+		channels: mc.Channels,
+		r:        ecc.R(cfg.Scheme.Base),
+		line:     g.LineSize,
+	}
+	e.cores = make([]*cpu.Core, cfg.Cores)
+	e.gens = make([]workload.Source, cfg.Cores)
+	e.lastMiss = make([]uint64, cfg.Cores)
+	e.inflight = make(map[uint64]float64)
+	if cfg.Sources != nil && len(cfg.Sources) != cfg.Cores {
+		panic(fmt.Sprintf("sim: %d sources for %d cores", len(cfg.Sources), cfg.Cores))
+	}
+	for i := range e.cores {
+		e.cores[i] = cpu.New(cpu.DefaultParams())
+		if cfg.Sources != nil {
+			e.gens[i] = cfg.Sources[i]
+		} else {
+			e.gens[i] = workload.NewGenerator(cfg.Workload, i, cfg.Seed)
+		}
+	}
+	e.marked = make([][]bool, mc.Channels)
+	total := mc.Channels * mc.RanksPerChannel * mc.BanksPerRank
+	quota := int(cfg.MarkedBankFraction*float64(total) + 0.5)
+	// Round up to whole pairs.
+	quota = (quota + 1) &^ 1
+	for ch := range e.marked {
+		e.marked[ch] = make([]bool, mc.RanksPerChannel*mc.BanksPerRank)
+	}
+	for i := 0; i < quota; i++ {
+		ch := i % mc.Channels
+		idx := (i / mc.Channels) % (mc.RanksPerChannel * mc.BanksPerRank)
+		e.marked[ch][idx] = true
+	}
+	return e
+}
+
+func (e *engine) warmup() {
+	e.warm = true
+	for i := 0; i < e.cfg.WarmupAccesses; i++ {
+		for c := range e.cores {
+			e.handleAccess(c, e.gens[c].Next())
+		}
+	}
+	e.warm = false
+}
+
+func (e *engine) measure() {
+	budget := e.cfg.MeasureCycles
+	nextScrub := e.cfg.ScrubLineInterval
+	var scrubAddr uint64
+	for {
+		// Scrubber reads proceed at their own fixed rate.
+		if e.cfg.ScrubLineInterval > 0 {
+			for nextScrub < budget {
+				due := false
+				for _, c := range e.cores {
+					if c.Time() >= nextScrub {
+						due = true
+						break
+					}
+				}
+				if !due {
+					break
+				}
+				loc := e.mapper.Map(scrubAddr)
+				e.ctrl.AccessRow(nextScrub, loc.Channel, loc.Rank, loc.Bank, loc.Row, false, mem.ClassScrub)
+				scrubAddr += uint64(e.line)
+				nextScrub += e.cfg.ScrubLineInterval
+			}
+		}
+		// Advance the core with the earliest local clock still inside the
+		// window (keeps controller arrivals near time order).
+		sel := -1
+		for i, c := range e.cores {
+			if c.Time() < budget && (sel < 0 || c.Time() < e.cores[sel].Time()) {
+				sel = i
+			}
+		}
+		if sel < 0 {
+			break
+		}
+		acc := e.gens[sel].Next()
+		e.cores[sel].AdvanceCompute(acc.InstrGap)
+		e.handleAccess(sel, acc)
+	}
+	e.ctrl.Finish(budget)
+}
+
+// handleAccess performs one LLC access with the full eviction and
+// ECC-maintenance cascade.
+func (e *engine) handleAccess(ci int, acc workload.Access) {
+	c := e.cores[ci]
+	hit, victim := e.llc.Access(acc.Addr, cache.Data, acc.Write)
+	if victim != nil {
+		e.handleVictim(c, *victim)
+	}
+	e.prefetch(ci, acc.Addr)
+	if hit {
+		if e.warm {
+			return
+		}
+		// A hit on a still-in-flight prefetch is a "late hit": the core
+		// waits for the fill like a short miss.
+		line := acc.Addr / uint64(e.line) * uint64(e.line)
+		if ready, ok := e.inflight[line]; ok {
+			delete(e.inflight, line)
+			if !acc.Write && ready > c.Time() {
+				at := c.BeginMiss()
+				if ready < at {
+					ready = at
+				}
+				c.CompleteMiss(ready)
+				return
+			}
+		}
+		c.Hit()
+		return
+	}
+	if e.warm {
+		return
+	}
+	// Demand fetch. Loads occupy a miss slot; stores are absorbed by the
+	// LSQ/write buffers and fetch without stalling the core.
+	t := c.Time()
+	if !acc.Write {
+		t = c.BeginMiss()
+	}
+	loc := e.mapper.Map(acc.Addr)
+	done := e.ctrl.AccessRow(t, loc.Channel, loc.Rank, loc.Bank, loc.Row, false, mem.ClassData)
+
+	// Step A1/B of Fig. 6: reads to banks recorded faulty fetch the ECC
+	// line in parallel (cached in the LLC per the VECC-style optimization).
+	if e.cfg.Scheme.Traffic == TrafficParity && e.isMarked(loc) {
+		eccAddr := core.ECCLineAddr(acc.Addr, e.r, e.line)
+		hitE, vE := e.llc.Access(eccAddr, cache.ECC, false)
+		if vE != nil {
+			e.handleVictim(c, *vE)
+		}
+		if !hitE {
+			el := e.mapper.Map(eccAddr)
+			if doneE := e.ctrl.AccessRow(t, el.Channel, el.Rank, el.Bank, el.Row, false, mem.ClassECC); doneE > done {
+				done = doneE
+			}
+		}
+	}
+	if !acc.Write {
+		c.CompleteMiss(done)
+	}
+}
+
+// prefetch implements a per-core next-line stream prefetcher: a sequential
+// access (64B stride) fetches the following LLC line ahead of the demand
+// stream. Prefetches fill the LLC and occupy memory bandwidth but never
+// stall the core. This is what lets streaming workloads (lbm, libquantum,
+// streamcluster) reach the high bandwidth utilizations of Fig. 9 despite
+// the bounded per-core MLP.
+func (e *engine) prefetch(ci int, addr uint64) {
+	trained := addr == e.lastMiss[ci]+workload.LineBytes
+	e.lastMiss[ci] = addr
+	if !trained {
+		return
+	}
+	la := uint64(e.line)
+	pf := (addr/la + 1) * la
+	if e.llc.Probe(pf, cache.Data) {
+		return
+	}
+	pfHit, pfV := e.llc.Access(pf, cache.Data, false)
+	if pfV != nil {
+		e.handleVictim(e.cores[ci], *pfV)
+	}
+	if !pfHit && !e.warm {
+		pl := e.mapper.Map(pf)
+		done := e.ctrl.AccessRow(e.cores[ci].Time(), pl.Channel, pl.Rank, pl.Bank, pl.Row, false, mem.ClassData)
+		e.inflight[pf] = done
+		if len(e.inflight) > 1<<15 {
+			e.pruneInflight()
+		}
+	}
+}
+
+// pruneInflight drops fills that have long completed relative to the
+// slowest core, bounding the tracking map.
+func (e *engine) pruneInflight() {
+	oldest := e.cores[0].Time()
+	for _, c := range e.cores[1:] {
+		if t := c.Time(); t < oldest {
+			oldest = t
+		}
+	}
+	for a, done := range e.inflight {
+		if done <= oldest {
+			delete(e.inflight, a)
+		}
+	}
+}
+
+// handleVictim processes an eviction (and any cascade it causes) at the
+// core's current time. Writebacks never stall the core; they contend for
+// banks and buses like all traffic.
+func (e *engine) handleVictim(c *cpu.Core, v cache.Evicted) {
+	queue := []cache.Evicted{v}
+	for len(queue) > 0 {
+		ev := queue[0]
+		queue = queue[1:]
+		if !ev.Dirty {
+			continue
+		}
+		t := c.Time()
+		switch ev.Kind {
+		case cache.Data:
+			if !e.warm {
+				loc := e.mapper.Map(ev.Addr)
+				e.ctrl.AccessRow(t, loc.Channel, loc.Rank, loc.Bank, loc.Row, true, mem.ClassData)
+			}
+			queue = e.maintainECC(c, ev.Addr, queue)
+		case cache.ECC:
+			if !e.warm {
+				loc := e.mapper.Map(ev.Addr)
+				e.ctrl.AccessRow(t, loc.Channel, loc.Rank, loc.Bank, loc.Row, true, mem.ClassECC)
+			}
+		case cache.XOR:
+			// Parity-line read-modify-write (§IV-C: "the memory controller
+			// issues both a memory read request and then a memory write
+			// request"). The parity line physically lives in the reserved
+			// rows of a rotating parity channel (Fig. 4's distribution),
+			// so the parity traffic never lands on the dirty data's bank.
+			if !e.warm {
+				mc := e.ctrl.Config()
+				ch, rk, bk, row := core.ParityLinePlacement(ev.Addr, e.channels,
+					mc.RanksPerChannel, mc.BanksPerRank, 1<<16)
+				e.ctrl.AccessRow(t, ch, rk, bk, row, false, mem.ClassECC)
+				e.ctrl.AccessRow(t, ch, rk, bk, row, true, mem.ClassECC)
+			}
+		}
+	}
+}
+
+// maintainECC applies the scheme's ECC-update flow for one dirty data
+// writeback and returns the eviction queue with any new victim appended.
+func (e *engine) maintainECC(c *cpu.Core, addr uint64, queue []cache.Evicted) []cache.Evicted {
+	switch e.cfg.Scheme.Traffic {
+	case TrafficInline:
+		return queue
+	case TrafficECCLine:
+		eccAddr := core.GECLineAddr(addr, e.cfg.Scheme.LinesPerECCLine, e.line)
+		if e.cfg.DisableECCCaching {
+			if !e.warm {
+				el := e.mapper.Map(eccAddr)
+				e.ctrl.AccessRow(c.Time(), el.Channel, el.Rank, el.Bank, el.Row, false, mem.ClassECC)
+				e.ctrl.AccessRow(c.Time(), el.Channel, el.Rank, el.Bank, el.Row, true, mem.ClassECC)
+			}
+			return queue
+		}
+		hit, v := e.llc.Access(eccAddr, cache.ECC, true)
+		if v != nil {
+			queue = append(queue, *v)
+		}
+		if !hit && !e.warm {
+			// The ECC line holds other lines' bits: fetch before update.
+			loc := e.mapper.Map(eccAddr)
+			e.ctrl.AccessRow(c.Time(), loc.Channel, loc.Rank, loc.Bank, loc.Row, false, mem.ClassECC)
+		}
+		return queue
+	case TrafficParity:
+		loc := e.mapper.Map(addr)
+		if e.cfg.DisableECCCaching {
+			// Naive Eq. 1 path: read the old data line, read the parity
+			// line, write it back (§III-C's three extra accesses).
+			if !e.warm {
+				e.ctrl.AccessRow(c.Time(), loc.Channel, loc.Rank, loc.Bank, loc.Row, false, mem.ClassECC)
+				xl := e.mapper.Map(core.XORCachelineAddr(addr, e.channels))
+				e.ctrl.AccessRow(c.Time(), xl.Channel, xl.Rank, xl.Bank, xl.Row, false, mem.ClassECC)
+				e.ctrl.AccessRow(c.Time(), xl.Channel, xl.Rank, xl.Bank, xl.Row, true, mem.ClassECC)
+			}
+			return queue
+		}
+		if e.isMarked(loc) {
+			// Step D: faulty bank — update the stored correction bits.
+			eccAddr := core.ECCLineAddr(addr, e.r, e.line)
+			hit, v := e.llc.Access(eccAddr, cache.ECC, true)
+			if v != nil {
+				queue = append(queue, *v)
+			}
+			if !hit && !e.warm {
+				el := e.mapper.Map(eccAddr)
+				e.ctrl.AccessRow(c.Time(), el.Channel, el.Rank, el.Bank, el.Row, false, mem.ClassECC)
+			}
+			return queue
+		}
+		// Step E via the XOR-cacheline optimization: accumulate the parity
+		// update in the LLC. A miss allocates an empty accumulator — no
+		// memory read (this is what kills the read-old-value access of the
+		// naive Eq. 1 implementation).
+		xorAddr := core.XORCachelineAddr(addr, e.channels)
+		_, v := e.llc.Access(xorAddr, cache.XOR, true)
+		if v != nil {
+			queue = append(queue, *v)
+		}
+		return queue
+	}
+	return queue
+}
+
+func (e *engine) isMarked(loc mem.Location) bool {
+	return e.marked[loc.Channel][loc.Rank*mem.DefaultBanksPerRank+loc.Bank]
+}
+
+func (e *engine) collect() Result {
+	var instr uint64
+	for _, c := range e.cores {
+		instr += c.Instructions()
+	}
+	st := *e.ctrl.Stats()
+	cycles := e.cfg.MeasureCycles
+	res := Result{
+		SchemeKey:    e.cfg.Scheme.Key,
+		Class:        e.cfg.Class,
+		Workload:     e.cfg.Workload.Name,
+		Instructions: instr,
+		Cycles:       cycles,
+		Mem:          st,
+		Cache:        *e.llc.Stats(),
+	}
+	if instr > 0 {
+		fi := float64(instr)
+		res.IPC = fi / cycles
+		res.EPI = st.TotalEnergy() / fi
+		res.DynamicEPI = st.DynamicEnergy() / fi
+		res.BackgroundEPI = st.BackgroundEnergy() / fi
+		accesses := float64(st.TotalReads()+st.TotalWrites()) * float64(e.line) / 64
+		res.AccessesPerInstr = accesses / fi
+	}
+	// Bandwidth: bytes moved over the wall-clock window vs peak
+	// (64B per tBurst per channel).
+	bytes := float64(st.TotalReads()+st.TotalWrites()) * float64(e.line)
+	ns := cycles * e.ctrl.Config().Timing.TCKNs
+	res.BandwidthGBs = bytes / ns // bytes per ns == GB/s
+	// Peak: one line per burst slot per channel.
+	peak := float64(e.channels) * float64(e.line) / (float64(e.ctrl.Config().Timing.TBurst) * e.ctrl.Config().Timing.TCKNs)
+	res.BandwidthUtil = res.BandwidthGBs / peak
+	return res
+}

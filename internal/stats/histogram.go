@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed histogram for latency-style
+// distributions: cheap to update on the simulator's hot path, accurate
+// enough for percentile reporting. Bucket i holds values in [2^i, 2^(i+1)).
+type Histogram struct {
+	Buckets [40]uint64
+	N       uint64
+	Sum     float64
+	MaxV    float64
+}
+
+// Add records one sample (negative samples are clamped to zero).
+func (h *Histogram) Add(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	h.N++
+	h.Sum += v
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+	i := 0
+	if v >= 1 {
+		i = int(math.Log2(v)) + 1
+		if i >= len(h.Buckets) {
+			i = len(h.Buckets) - 1
+		}
+	}
+	h.Buckets[i]++
+}
+
+// Mean returns the average sample.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+// Percentile returns an upper bound of the p-th percentile (0..100): the
+// top edge of the bucket containing it.
+func (h *Histogram) Percentile(p float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(h.N)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range h.Buckets {
+		seen += c
+		if seen >= rank {
+			if i == 0 {
+				return 1
+			}
+			if i == len(h.Buckets)-1 {
+				// The overflow bucket has no meaningful upper edge.
+				return h.MaxV
+			}
+			edge := math.Pow(2, float64(i))
+			if edge > h.MaxV {
+				return h.MaxV
+			}
+			return edge
+		}
+	}
+	return h.MaxV
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	if h.N == 0 {
+		return "empty"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.1f p50≤%.0f p99≤%.0f max=%.0f",
+		h.N, h.Mean(), h.Percentile(50), h.Percentile(99), h.MaxV)
+	return b.String()
+}

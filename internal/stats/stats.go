@@ -1,0 +1,65 @@
+// Package stats provides the small numeric helpers shared by the
+// experiment runners: means, geometric means, percentiles and reduction
+// percentages, all defensive about empty inputs.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive values, or 0 for empty
+// input. Non-positive entries are skipped.
+func GeoMean(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			s += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(s / float64(n))
+}
+
+// Percentile returns the p-th percentile (0..100) using nearest-rank on a
+// copy of xs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := int(math.Ceil(p/100*float64(len(c)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(c) {
+		rank = len(c) - 1
+	}
+	return c[rank]
+}
+
+// ReductionPct returns the percentage reduction of new versus old:
+// 100·(old−new)/old. Positive means new is smaller (better, for energy).
+func ReductionPct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return 100 * (old - new) / old
+}

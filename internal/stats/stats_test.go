@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean must be 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("mean wrong")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("empty geomean must be 0")
+	}
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("geomean(1,4) = %v", got)
+	}
+	// Non-positive entries are skipped.
+	if got := GeoMean([]float64{-1, 0, 4}); got != 4 {
+		t.Fatalf("geomean with junk = %v", got)
+	}
+	if GeoMean([]float64{0, -2}) != 0 {
+		t.Fatal("all-junk geomean must be 0")
+	}
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("p50 = %v", Percentile(xs, 50))
+	}
+	if Percentile(xs, 100) != 5 || Percentile(xs, 0) != 1 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("percentile sorted the caller's slice")
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	if ReductionPct(0, 5) != 0 {
+		t.Fatal("zero base must yield 0")
+	}
+	if got := ReductionPct(200, 100); got != 50 {
+		t.Fatalf("got %v", got)
+	}
+	if got := ReductionPct(100, 120); got != -20 {
+		t.Fatalf("negative reduction: got %v", got)
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.String() != "empty" || h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty histogram misbehaves")
+	}
+	for _, v := range []float64{1, 2, 4, 8, 100} {
+		h.Add(v)
+	}
+	if h.N != 5 || h.MaxV != 100 {
+		t.Fatalf("n=%d max=%v", h.N, h.MaxV)
+	}
+	if m := h.Mean(); m != 23 {
+		t.Fatalf("mean %v", m)
+	}
+	if p := h.Percentile(100); p != 100 {
+		t.Fatalf("p100 %v", p)
+	}
+	if p := h.Percentile(50); p < 2 || p > 8 {
+		t.Fatalf("p50 bound %v", p)
+	}
+	if h.String() == "" {
+		t.Fatal("summary empty")
+	}
+}
+
+func TestHistogramClampsNegatives(t *testing.T) {
+	var h Histogram
+	h.Add(-5)
+	if h.N != 1 || h.Sum != 0 {
+		t.Fatalf("negative sample not clamped: %+v", h)
+	}
+}
+
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i))
+	}
+	prev := 0.0
+	for _, p := range []float64{10, 25, 50, 75, 90, 99, 100} {
+		v := h.Percentile(p)
+		if v < prev {
+			t.Fatalf("percentiles not monotone at p%v: %v < %v", p, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestHistogramHugeValues(t *testing.T) {
+	var h Histogram
+	h.Add(math.MaxFloat64) // must not panic or index out of range
+	if h.Percentile(100) != math.MaxFloat64 {
+		t.Fatal("max lost")
+	}
+}

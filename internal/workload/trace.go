@@ -1,0 +1,129 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Trace support: access streams can be recorded to a compact binary format
+// and replayed later, so a simulation can be driven by a captured trace
+// (the moral equivalent of the paper's SimPoint checkpoints) instead of a
+// live generator, and so experiments are exactly repeatable across
+// machines and Go versions.
+//
+// Format: a 8-byte magic+version header, then one record per access:
+// uvarint instruction gap, uvarint address delta (zigzag), and a flags
+// byte (bit0 = write). Addresses are delta-encoded because generators emit
+// mostly small strides.
+
+// Source produces an access stream; both live Generators and trace
+// replayers implement it.
+type Source interface {
+	Next() Access
+}
+
+var traceMagic = [8]byte{'e', 'c', 'c', 'p', 't', 'r', '0', '1'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("workload: malformed trace")
+
+// WriteTrace records n accesses from src to w.
+func WriteTrace(w io.Writer, src Source, n int) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(traceMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	var prev uint64
+	for i := 0; i < n; i++ {
+		a := src.Next()
+		k := binary.PutUvarint(buf[:], uint64(a.InstrGap))
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+		delta := int64(a.Addr) - int64(prev)
+		k = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:k]); err != nil {
+			return err
+		}
+		prev = a.Addr
+		flags := byte(0)
+		if a.Write {
+			flags = 1
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// TraceReader replays a recorded access stream. When the trace is
+// exhausted it loops back to the beginning (steady-state simulations need
+// an endless stream), which requires the trace to have been read fully
+// into memory.
+type TraceReader struct {
+	accesses []Access
+	pos      int
+}
+
+// ReadTrace parses an entire trace.
+func ReadTrace(r io.Reader) (*TraceReader, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadTrace, err)
+	}
+	if magic != traceMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic[:])
+	}
+	tr := &TraceReader{}
+	var prev uint64
+	for {
+		gap, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: gap: %v", ErrBadTrace, err)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: address: %v", ErrBadTrace, err)
+		}
+		addr := uint64(int64(prev) + delta)
+		prev = addr
+		flags, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: flags: %v", ErrBadTrace, err)
+		}
+		if flags > 1 {
+			return nil, fmt.Errorf("%w: flags %#x", ErrBadTrace, flags)
+		}
+		tr.accesses = append(tr.accesses, Access{
+			InstrGap: int(gap),
+			Addr:     addr,
+			Write:    flags == 1,
+		})
+	}
+	if len(tr.accesses) == 0 {
+		return nil, fmt.Errorf("%w: empty", ErrBadTrace)
+	}
+	return tr, nil
+}
+
+// Len returns the number of recorded accesses.
+func (t *TraceReader) Len() int { return len(t.accesses) }
+
+// Next implements Source, looping at the end of the trace.
+func (t *TraceReader) Next() Access {
+	a := t.accesses[t.pos]
+	t.pos++
+	if t.pos == len(t.accesses) {
+		t.pos = 0
+	}
+	return a
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	spec, _ := ByName("mcf")
+	g := NewGenerator(spec, 2, 99)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 5000); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying must reproduce the exact stream.
+	g2 := NewGenerator(spec, 2, 99)
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5000 {
+		t.Fatalf("trace length %d", tr.Len())
+	}
+	for i := 0; i < 5000; i++ {
+		want := g2.Next()
+		got := tr.Next()
+		if want != got {
+			t.Fatalf("access %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+func TestTraceLoops(t *testing.T) {
+	spec, _ := ByName("sjeng")
+	g := NewGenerator(spec, 0, 1)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 10); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]Access, 10)
+	for i := range first {
+		first[i] = tr.Next()
+	}
+	for i := 0; i < 10; i++ {
+		if tr.Next() != first[i] {
+			t.Fatalf("loop replay diverged at %d", i)
+		}
+	}
+}
+
+func TestTraceBadInputs(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("short")); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("notmagic" + "xxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Valid header, no records.
+	var buf bytes.Buffer
+	buf.Write(traceMagic[:])
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	// Valid header, garbage flags.
+	buf.Reset()
+	buf.Write(traceMagic[:])
+	buf.Write([]byte{1, 2, 9}) // gap=1, delta=1, flags=9
+	if _, err := ReadTrace(&buf); err == nil {
+		t.Fatal("bad flags accepted")
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	// Sequential workloads delta-encode tightly: well under 8 bytes per
+	// access.
+	spec, _ := ByName("streamcluster")
+	g := NewGenerator(spec, 0, 5)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, g, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if perAcc := float64(buf.Len()) / 10000; perAcc > 8 {
+		t.Fatalf("%.1f bytes per access, want compact encoding", perAcc)
+	}
+}
+
+func TestGeneratorImplementsSource(t *testing.T) {
+	var _ Source = (*Generator)(nil)
+	var _ Source = (*TraceReader)(nil)
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSixteenWorkloads(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 16 {
+		t.Fatalf("%d workloads, want 16", len(specs))
+	}
+	spec, parsec := 0, 0
+	for _, s := range specs {
+		if s.Parsec {
+			parsec++
+		} else {
+			spec++
+		}
+	}
+	if spec != 12 || parsec != 4 {
+		t.Fatalf("split %d SPEC / %d PARSEC, want 12/4", spec, parsec)
+	}
+}
+
+func TestBinsSplitEvenly(t *testing.T) {
+	b1, b2 := Bin1Names(), Bin2Names()
+	if len(b1) != 8 || len(b2) != 8 {
+		t.Fatalf("bins %d/%d, want 8/8", len(b1), len(b2))
+	}
+	seen := map[string]bool{}
+	for _, n := range append(append([]string{}, b1...), b2...) {
+		if seen[n] {
+			t.Fatalf("workload %s in both bins", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestBin2IsHigherIntensity(t *testing.T) {
+	// Every Bin2 workload must have APKI at least as high as every Bin1
+	// workload's... not strictly (the bins are by measured bandwidth), but
+	// the MEANS must clearly separate.
+	mean := func(names []string) float64 {
+		var s float64
+		for _, n := range names {
+			sp, _ := ByName(n)
+			s += sp.APKI
+		}
+		return s / float64(len(names))
+	}
+	m1, m2 := mean(Bin1Names()), mean(Bin2Names())
+	if m2 < 2*m1 {
+		t.Fatalf("bin means not separated: Bin1=%.1f Bin2=%.1f", m1, m2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("streamcluster")
+	if !ok || !s.Parsec || s.Seq < 0.9 {
+		t.Fatalf("streamcluster lookup: %+v ok=%v", s, ok)
+	}
+	if _, ok := ByName("doom"); ok {
+		t.Fatal("unknown workload must not resolve")
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	s, _ := ByName("mcf")
+	a := NewGenerator(s, 3, 42)
+	b := NewGenerator(s, 3, 42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed+core diverged")
+		}
+	}
+	c := NewGenerator(s, 4, 42)
+	same := 0
+	a2 := NewGenerator(s, 3, 42)
+	for i := 0; i < 1000; i++ {
+		if a2.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("different cores produced %d/1000 identical accesses", same)
+	}
+}
+
+func TestGapMatchesAPKI(t *testing.T) {
+	for _, name := range []string{"sjeng", "lbm"} {
+		s, _ := ByName(name)
+		g := NewGenerator(s, 0, 7)
+		var instr, accesses float64
+		for i := 0; i < 20000; i++ {
+			a := g.Next()
+			instr += float64(a.InstrGap)
+			accesses++
+		}
+		gotAPKI := accesses / instr * 1000
+		if math.Abs(gotAPKI-s.APKI)/s.APKI > 0.1 {
+			t.Fatalf("%s: measured APKI %.2f, want %.2f", name, gotAPKI, s.APKI)
+		}
+	}
+}
+
+func TestWriteFraction(t *testing.T) {
+	s, _ := ByName("lbm")
+	g := NewGenerator(s, 0, 8)
+	writes := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	got := float64(writes) / n
+	if math.Abs(got-s.WriteFrac) > 0.02 {
+		t.Fatalf("write fraction %.3f, want %.3f", got, s.WriteFrac)
+	}
+}
+
+func TestAddressesWithinWorkingSet(t *testing.T) {
+	s, _ := ByName("astar")
+	g := NewGenerator(s, 2, 9)
+	base := uint64(2) << 30
+	for i := 0; i < 10000; i++ {
+		a := g.Next()
+		if a.Addr < base || a.Addr >= base+s.WorkingSetBytes {
+			t.Fatalf("address %#x outside instance space", a.Addr)
+		}
+		if a.Addr%LineBytes != 0 {
+			t.Fatalf("address %#x not line aligned", a.Addr)
+		}
+	}
+}
+
+func TestParsecSharesAddressSpace(t *testing.T) {
+	s, _ := ByName("canneal")
+	g0 := NewGenerator(s, 0, 10)
+	g7 := NewGenerator(s, 7, 10)
+	if g0.base != 0 || g7.base != 0 {
+		t.Fatal("PARSEC threads must share base 0")
+	}
+	_ = g0.Next()
+	_ = g7.Next()
+}
+
+func TestSequentialityObservable(t *testing.T) {
+	// streamcluster must emit far more +64B successors than canneal.
+	count := func(name string) float64 {
+		s, _ := ByName(name)
+		g := NewGenerator(s, 0, 11)
+		prev := g.Next().Addr
+		seq := 0
+		const n = 10000
+		for i := 0; i < n; i++ {
+			a := g.Next()
+			if a.Addr == prev+LineBytes {
+				seq++
+			}
+			prev = a.Addr
+		}
+		return float64(seq) / n
+	}
+	if sc, cn := count("streamcluster"), count("canneal"); sc < 0.85 || cn > 0.3 {
+		t.Fatalf("sequentiality: streamcluster %.2f (want >0.85), canneal %.2f (want <0.3)", sc, cn)
+	}
+}
