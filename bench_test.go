@@ -9,6 +9,8 @@
 package eccparity
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -73,7 +75,7 @@ func BenchmarkFig2MTBFAcrossChannels(b *testing.B) {
 func BenchmarkFig8EOLCorrectionFraction(b *testing.B) {
 	var rows []sim.Fig8Row
 	for i := 0; i < b.N; i++ {
-		rows = sim.Fig8EOLFractions(800, 1)
+		rows = sim.Fig8EOLFractions(800, 1, 0)
 	}
 	for _, r := range rows {
 		b.Logf("%d channels: mean %.4f p99.9 %.4f", r.Channels, r.Mean, r.P999)
@@ -188,7 +190,7 @@ func BenchmarkFig18ScrubWindow(b *testing.B) {
 func BenchmarkTable3CapacityOverheads(b *testing.B) {
 	var rows []sim.Table3Row
 	for i := 0; i < b.N; i++ {
-		rows = sim.Table3Capacity(400, 1)
+		rows = sim.Table3Capacity(400, 1, 0)
 	}
 	for _, r := range rows {
 		b.Logf("%-40s %.3f EOL %.3f", r.Config, r.Overhead, r.EOL)
@@ -199,6 +201,38 @@ func BenchmarkTable3CapacityOverheads(b *testing.B) {
 }
 
 // --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkParallelSpeedup measures the wall-clock scaling of the two
+// fan-out substrates — a Monte Carlo EOL campaign and a (scheme × workload)
+// simulation grid — across worker counts. Every sub-benchmark computes the
+// same numbers (determinism is worker-count-invariant); only the wall clock
+// changes. ns/op across the workers=… variants is the repo's perf
+// trajectory record in EXPERIMENTS.md.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	workerCounts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	topo := faultmodel.PaperTopology(8)
+	rates := faultmodel.DefaultRates()
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("montecarlo/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				faultmodel.SimulateEOL(topo, rates, 7*faultmodel.HoursPerYear, 2000, 1, w)
+			}
+		})
+	}
+	for _, w := range workerCounts {
+		b.Run(fmt.Sprintf("simgrid/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sim.NewEvaluation(sim.QuadEq,
+					[]string{"chipkill18", "lotecc5+parity"},
+					[]string{"mcf", "lbm", "milc", "omnetpp"},
+					sim.WithCycles(60000), sim.WithWarmup(5000), sim.WithWorkers(w))
+			}
+		})
+	}
+}
 
 // BenchmarkAblationCounterThreshold: pages retired before a bank fault
 // saturates the pair counter, across thresholds.

@@ -19,13 +19,18 @@
 //	eccsim -exp undetected# §VI-D undetectable error estimate
 //	eccsim -exp all       # everything above
 //
-// Use -cycles and -warmup to trade fidelity for speed.
+// Use -cycles and -warmup to trade fidelity for speed. -workers bounds the
+// worker pool the simulation grid and Monte Carlo fan out over (default
+// NumCPU) and -seed fixes the workload/Monte Carlo seed. Results depend
+// only on the seed, never on the worker count: the same seed emits
+// byte-identical stdout at any -workers value. Progress goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"eccparity/internal/cpu"
@@ -39,16 +44,27 @@ func main() {
 	cycles := flag.Float64("cycles", 400000, "measured cycles per simulation")
 	warmup := flag.Int("warmup", 60000, "per-core LLC warmup accesses")
 	trials := flag.Int("trials", 2000, "Monte Carlo trials for EOL studies")
+	seed := flag.Int64("seed", 1, "workload and Monte Carlo seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation grids and Monte Carlo (<=0: NumCPU)")
 	flag.BoolVar(&csvOut, "csv", false, "emit comparison figures as CSV rows")
 	flag.Parse()
 
-	opts := []sim.Option{sim.WithCycles(*cycles), sim.WithWarmup(*warmup)}
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
+		os.Exit(2)
+	}
+
+	opts := []sim.Option{
+		sim.WithCycles(*cycles), sim.WithWarmup(*warmup),
+		sim.WithSeed(*seed), sim.WithWorkers(*workers),
+		sim.WithProgress(os.Stderr),
+	}
 
 	run := map[string]func(){
 		"fig1":       fig1,
 		"table1":     table1,
 		"table2":     table2,
-		"table3":     func() { table3(*trials) },
+		"table3":     func() { table3(*trials, *seed, *workers) },
 		"fig9":       func() { fig9(opts) },
 		"fig10":      func() { figEPI(sim.QuadEq, opts) },
 		"fig11":      func() { figEPI(sim.DualEq, opts) },
@@ -127,9 +143,9 @@ func table2() {
 	}
 }
 
-func table3(trials int) {
+func table3(trials int, seed int64, workers int) {
 	header("Table III — capacity overheads (EOL = end of life)")
-	for _, r := range sim.Table3Capacity(trials, 1) {
+	for _, r := range sim.Table3Capacity(trials, seed, workers) {
 		if r.EOL > 0 {
 			fmt.Printf("%-40s %5.1f%%, EOL avg: %5.1f%%\n", r.Config, 100*r.Overhead, 100*r.EOL)
 		} else {

@@ -5,12 +5,19 @@
 //	faultmc -exp fig8    # EOL fraction of memory with materialized correction bits
 //	faultmc -exp fig18   # P(multi-channel faults within one scrub window)
 //	faultmc -exp all
+//
+// -workers bounds the Monte Carlo worker pool (default NumCPU) and -seed
+// fixes the campaign seed. Results depend only on the seed, never on the
+// worker count: the same seed emits byte-identical stdout at any -workers
+// value. Progress goes to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"eccparity/internal/faultmodel"
 	"eccparity/internal/sim"
@@ -20,18 +27,24 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: fig2, fig8, fig18, all")
 	trials := flag.Int("trials", 4000, "Monte Carlo trials")
 	seed := flag.Int64("seed", 1, "Monte Carlo seed")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte Carlo trials (<=0: NumCPU)")
 	flag.Parse()
+
+	if *trials < 1 {
+		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
+		os.Exit(2)
+	}
 
 	switch *exp {
 	case "fig2":
-		fig2()
+		fig2(*workers)
 	case "fig8":
-		fig8(*trials, *seed)
+		fig8(*trials, *seed, *workers)
 	case "fig18":
 		fig18()
 	case "all":
-		fig2()
-		fig8(*trials, *seed)
+		fig2(*workers)
+		fig8(*trials, *seed, *workers)
 		fig18()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -39,22 +52,35 @@ func main() {
 	}
 }
 
-func fig2() {
+// stage emits a progress line on stderr and returns a func that stamps the
+// stage's wall-clock time when the work is done.
+func stage(format string, args ...any) func() {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	start := time.Now()
+	return func() { fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond)) }
+}
+
+func fig2(workers int) {
 	fmt.Println("=== Fig. 2 — mean time between faults in different channels ===")
 	fmt.Println("(8 channels × 4 ranks × 9 chips, exponential failure distribution)")
 	for _, r := range sim.Fig2ChannelFaultGaps() {
 		fmt.Printf("%6.0f FIT/chip: %8.0f days\n", r.FITPerChip, r.MeanDays)
 	}
 	// Cross-check one point against Monte Carlo.
+	done := stage("fig2: Monte Carlo cross-check, 40 trials, workers=%d", workers)
 	topo := faultmodel.PaperTopology(8)
-	mc := faultmodel.MeasureChannelFaultGaps(44, topo, 40, 1)
+	mc := faultmodel.MeasureChannelFaultGaps(44, topo, 40, 1, workers)
+	done()
 	fmt.Printf("Monte Carlo cross-check at 44 FIT: %.0f days (analytic %.0f)\n",
 		mc/24, faultmodel.MeanTimeBetweenChannelFaults(44, topo)/24)
 }
 
-func fig8(trials int, seed int64) {
+func fig8(trials int, seed int64, workers int) {
 	fmt.Println("\n=== Fig. 8 — fraction of memory with stored correction bits after 7 years ===")
-	for _, r := range sim.Fig8EOLFractions(trials, seed) {
+	done := stage("fig8: %d trials × 4 channel counts, seed=%d, workers=%d", trials, seed, workers)
+	rows := sim.Fig8EOLFractions(trials, seed, workers)
+	done()
+	for _, r := range rows {
 		fmt.Printf("%2d channels: mean %5.2f%%   99.9th pct %5.2f%%\n",
 			r.Channels, 100*r.Mean, 100*r.P999)
 	}

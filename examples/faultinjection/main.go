@@ -50,8 +50,8 @@ func main() {
 	// Inflate the per-chip FIT so the scaled-down demo system sees a
 	// handful of faults in its 7 years (≈6 expected over 20 devices).
 	rates := faultmodel.DefaultRates().Scaled(5000)
-	model := faultmodel.NewModel(topo, rates, 7)
-	faults := model.SampleLifetime(7 * faultmodel.HoursPerYear)
+	model := faultmodel.NewModel(topo, rates)
+	faults := model.SampleLifetime(rand.New(rand.NewSource(7)), 7*faultmodel.HoursPerYear)
 	fmt.Printf("Sampled %d device faults over 7 years (inflated rates for the demo)\n\n", len(faults))
 
 	scrubEvery := 30.0 * 24 // hours

@@ -142,8 +142,8 @@ func TestLifetimeIntegration(t *testing.T) {
 	}
 
 	topo := faultmodel.Topology{Channels: channels, RanksPerChannel: 1, ChipsPerRank: 5, BanksPerRank: 8}
-	model := faultmodel.NewModel(topo, faultmodel.DefaultRates().Scaled(4000), 3)
-	faults := model.SampleLifetime(7 * faultmodel.HoursPerYear)
+	model := faultmodel.NewModel(topo, faultmodel.DefaultRates().Scaled(4000))
+	faults := model.SampleLifetime(rand.New(rand.NewSource(3)), 7*faultmodel.HoursPerYear)
 	if len(faults) == 0 {
 		t.Skip("no faults sampled at this seed/rate")
 	}

@@ -15,6 +15,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+
+	"eccparity/internal/parallel"
 )
 
 // FaultType is the granularity of a DRAM device fault.
@@ -137,50 +139,66 @@ type Fault struct {
 	Bank    int // primary affected rank-level bank
 }
 
-// Model samples fault sequences for a topology.
+// Model samples fault sequences for a topology. A Model holds no mutable
+// state — randomness is passed into each sampling call — so one Model is
+// safe to share across concurrent Monte Carlo trials; each trial owns a
+// private RNG derived with TrialSeed.
 type Model struct {
 	Topo  Topology
 	Rates Rates
-	rng   *rand.Rand
 }
 
-// NewModel builds a deterministic sampler for the topology.
-func NewModel(topo Topology, rates Rates, seed int64) *Model {
-	return &Model{Topo: topo, Rates: rates, rng: rand.New(rand.NewSource(seed))}
+// NewModel builds a sampler for the topology.
+func NewModel(topo Topology, rates Rates) *Model {
+	return &Model{Topo: topo, Rates: rates}
+}
+
+// trialSeedPrime spreads trial indices across the seed space (the golden-
+// ratio prime ⌊2^32/φ⌋).
+const trialSeedPrime = 2654435761
+
+// TrialSeed derives the private RNG seed of Monte Carlo trial i from a
+// campaign seed. A trial's random stream depends only on (seed, trial) —
+// never on scheduling or worker count — which is what makes campaign
+// results bit-identical whether they run on one goroutine or NumCPU.
+func TrialSeed(seed int64, trial int) int64 {
+	return seed ^ int64(trial)*trialSeedPrime
 }
 
 // SampleLifetime draws the system's fault sequence over the given horizon
 // as a Poisson process with the model's aggregate rate; each fault is
-// attributed to a uniformly random chip and typed by the rate mix.
-func (m *Model) SampleLifetime(hours float64) []Fault {
+// attributed to a uniformly random chip and typed by the rate mix. The
+// caller owns rng — per-trial generators keep concurrent trials independent
+// and deterministic.
+func (m *Model) SampleLifetime(rng *rand.Rand, hours float64) []Fault {
 	lambda := m.Rates.Total() * 1e-9 * float64(m.Topo.TotalChips()) // faults per hour
 	var faults []Fault
 	t := 0.0
 	for {
-		t += m.rng.ExpFloat64() / lambda
+		t += rng.ExpFloat64() / lambda
 		if t > hours {
 			break
 		}
-		faults = append(faults, m.sampleFault(t))
+		faults = append(faults, m.sampleFault(rng, t))
 	}
 	return faults
 }
 
 // sampleFault places one fault at time t.
-func (m *Model) sampleFault(t float64) Fault {
+func (m *Model) sampleFault(rng *rand.Rand, t float64) Fault {
 	f := Fault{
 		Time:    t,
-		Type:    m.sampleType(),
-		Channel: m.rng.Intn(m.Topo.Channels),
-		Rank:    m.rng.Intn(m.Topo.RanksPerChannel),
-		Chip:    m.rng.Intn(m.Topo.ChipsPerRank),
-		Bank:    m.rng.Intn(m.Topo.BanksPerRank),
+		Type:    m.sampleType(rng),
+		Channel: rng.Intn(m.Topo.Channels),
+		Rank:    rng.Intn(m.Topo.RanksPerChannel),
+		Chip:    rng.Intn(m.Topo.ChipsPerRank),
+		Bank:    rng.Intn(m.Topo.BanksPerRank),
 	}
 	return f
 }
 
-func (m *Model) sampleType() FaultType {
-	x := m.rng.Float64() * m.Rates.Total()
+func (m *Model) sampleType(rng *rand.Rand) FaultType {
+	x := rng.Float64() * m.Rates.Total()
 	for i, v := range m.Rates {
 		if x < v {
 			return FaultType(i)
@@ -265,12 +283,17 @@ type EOLResult struct {
 // SimulateEOL runs trials independent 7-year (or custom-horizon) system
 // lifetimes and reports the fraction of memory whose bank pairs were marked
 // faulty — i.e. ended up with the actual ECC correction bits stored in
-// memory rather than ECC parities.
-func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int64) EOLResult {
-	fractions := make([]float64, trials)
-	for i := 0; i < trials; i++ {
-		m := NewModel(topo, rates, seed+int64(i)*7919)
-		faults := m.SampleLifetime(hours)
+// memory rather than ECC parities. Trials fan out over at most workers
+// goroutines (≤0 means NumCPU); each trial's RNG derives from TrialSeed, so
+// the result is bit-identical at any worker count.
+func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int64, workers int) EOLResult {
+	if trials <= 0 {
+		return EOLResult{}
+	}
+	m := NewModel(topo, rates)
+	fractions := parallel.Collect(trials, workers, func(i int) float64 {
+		rng := rand.New(rand.NewSource(TrialSeed(seed, i)))
+		faults := m.SampleLifetime(rng, hours)
 		marked := map[BankID]bool{}
 		for _, f := range faults {
 			for _, b := range f.AffectedBanks(topo) {
@@ -279,8 +302,8 @@ func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int
 				marked[BankID{p.Channel, p.Rank, p.Bank + 1}] = true
 			}
 		}
-		fractions[i] = float64(len(marked)) / float64(topo.TotalBanks())
-	}
+		return float64(len(marked)) / float64(topo.TotalBanks())
+	})
 	sort.Float64s(fractions)
 	var sum float64
 	for _, f := range fractions {
@@ -302,27 +325,40 @@ func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int
 
 // MeasureChannelFaultGaps runs a Monte Carlo estimate of the Fig. 2
 // quantity: the mean time between consecutive faults in different channels.
-func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64) float64 {
-	rates := DefaultRates().Scaled(fit)
-	var sum float64
-	var n int
+// Trials fan out over at most workers goroutines (≤0 means NumCPU);
+// per-trial partial sums are reduced in trial order so the result is
+// bit-identical at any worker count.
+func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64, workers int) float64 {
+	m := NewModel(topo, DefaultRates().Scaled(fit))
 	// Long horizon so that most trials observe several faults.
 	horizon := 400 * HoursPerYear
-	for i := 0; i < trials; i++ {
-		m := NewModel(topo, rates, seed+int64(i)*104729)
-		faults := m.SampleLifetime(horizon)
+	type gapSum struct {
+		sum float64
+		n   int
+	}
+	parts := parallel.Collect(trials, workers, func(i int) gapSum {
+		rng := rand.New(rand.NewSource(TrialSeed(seed, i)))
+		faults := m.SampleLifetime(rng, horizon)
 		// For each fault, the time until the NEXT fault in a different
 		// channel (skipping same-channel arrivals), matching the paper's
 		// "mean time between faults in different channels".
+		var g gapSum
 		for j := 0; j < len(faults); j++ {
 			for k := j + 1; k < len(faults); k++ {
 				if faults[k].Channel != faults[j].Channel {
-					sum += faults[k].Time - faults[j].Time
-					n++
+					g.sum += faults[k].Time - faults[j].Time
+					g.n++
 					break
 				}
 			}
 		}
+		return g
+	})
+	var sum float64
+	var n int
+	for _, g := range parts {
+		sum += g.sum
+		n += g.n
 	}
 	if n == 0 {
 		return math.Inf(1)

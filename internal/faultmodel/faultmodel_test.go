@@ -2,6 +2,7 @@ package faultmodel
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -71,9 +72,10 @@ func TestSampleLifetimeRate(t *testing.T) {
 	want := rates.Total() * 1e-9 * float64(topo.TotalChips()) * hours
 	var got float64
 	const trials = 3000
+	m := NewModel(topo, rates)
 	for i := 0; i < trials; i++ {
-		m := NewModel(topo, rates, int64(i))
-		got += float64(len(m.SampleLifetime(hours)))
+		rng := rand.New(rand.NewSource(int64(i)))
+		got += float64(len(m.SampleLifetime(rng, hours)))
 	}
 	got /= trials
 	if math.Abs(got-want)/want > 0.1 {
@@ -83,8 +85,9 @@ func TestSampleLifetimeRate(t *testing.T) {
 
 func TestSampleLifetimeDeterministic(t *testing.T) {
 	topo := PaperTopology(4)
-	a := NewModel(topo, DefaultRates(), 42).SampleLifetime(100 * HoursPerYear)
-	b := NewModel(topo, DefaultRates(), 42).SampleLifetime(100 * HoursPerYear)
+	m := NewModel(topo, DefaultRates())
+	a := m.SampleLifetime(rand.New(rand.NewSource(42)), 100*HoursPerYear)
+	b := m.SampleLifetime(rand.New(rand.NewSource(42)), 100*HoursPerYear)
 	if len(a) != len(b) {
 		t.Fatal("same seed produced different fault counts")
 	}
@@ -97,8 +100,8 @@ func TestSampleLifetimeDeterministic(t *testing.T) {
 
 func TestSampleFaultsInBounds(t *testing.T) {
 	topo := PaperTopology(8)
-	m := NewModel(topo, DefaultRates().Scaled(5000), 7)
-	faults := m.SampleLifetime(7 * HoursPerYear)
+	m := NewModel(topo, DefaultRates().Scaled(5000))
+	faults := m.SampleLifetime(rand.New(rand.NewSource(7)), 7*HoursPerYear)
 	if len(faults) == 0 {
 		t.Fatal("expected faults at inflated rate")
 	}
@@ -169,7 +172,7 @@ func TestMonteCarloMatchesAnalyticGap(t *testing.T) {
 	topo := PaperTopology(8)
 	fit := 2000.0 // inflated rate so trials are cheap
 	want := MeanTimeBetweenChannelFaults(fit, topo)
-	got := MeasureChannelFaultGaps(fit, topo, 60, 99)
+	got := MeasureChannelFaultGaps(fit, topo, 60, 99, 1)
 	if math.Abs(got-want)/want > 0.15 {
 		t.Fatalf("MC gap %v, analytic %v", got, want)
 	}
@@ -203,7 +206,7 @@ func TestSimulateEOLPaperRange(t *testing.T) {
 	// Fig. 8: about 0.4% of memory on average ends up with correction bits
 	// after seven years for the paper's topology and rates.
 	topo := PaperTopology(8)
-	res := SimulateEOL(topo, DefaultRates(), 7*HoursPerYear, 4000, 11)
+	res := SimulateEOL(topo, DefaultRates(), 7*HoursPerYear, 4000, 11, 0)
 	if res.MeanFraction < 0.001 || res.MeanFraction > 0.012 {
 		t.Fatalf("mean EOL fraction %v, expected order of 0.4%%", res.MeanFraction)
 	}
@@ -218,10 +221,48 @@ func TestSimulateEOLPaperRange(t *testing.T) {
 func TestSimulateEOLMoreChannelsMoreAbsoluteFaults(t *testing.T) {
 	// The FRACTION marked stays roughly flat across channel counts (each
 	// channel adds both faults and capacity); check it doesn't blow up.
-	r2 := SimulateEOL(PaperTopology(2), DefaultRates(), 7*HoursPerYear, 2000, 3)
-	r16 := SimulateEOL(PaperTopology(16), DefaultRates(), 7*HoursPerYear, 2000, 3)
+	r2 := SimulateEOL(PaperTopology(2), DefaultRates(), 7*HoursPerYear, 2000, 3, 0)
+	r16 := SimulateEOL(PaperTopology(16), DefaultRates(), 7*HoursPerYear, 2000, 3, 0)
 	if r16.MeanFraction > 5*r2.MeanFraction+0.01 {
 		t.Fatalf("fraction not stable: 2ch=%v 16ch=%v", r2.MeanFraction, r16.MeanFraction)
+	}
+}
+
+// TestSimulateEOLWorkerCountInvariance is the determinism regression test:
+// the same campaign seed must produce bit-identical results whether trials
+// run serially or spread over many goroutines.
+func TestSimulateEOLWorkerCountInvariance(t *testing.T) {
+	topo := PaperTopology(8)
+	serial := SimulateEOL(topo, DefaultRates(), 7*HoursPerYear, 600, 11, 1)
+	wide := SimulateEOL(topo, DefaultRates(), 7*HoursPerYear, 600, 11, 8)
+	if serial.MeanFraction != wide.MeanFraction || serial.P999Fraction != wide.P999Fraction {
+		t.Fatalf("workers=1 (%v/%v) diverged from workers=8 (%v/%v)",
+			serial.MeanFraction, serial.P999Fraction, wide.MeanFraction, wide.P999Fraction)
+	}
+	for i := range serial.Fractions {
+		if serial.Fractions[i] != wide.Fractions[i] {
+			t.Fatalf("per-trial fraction %d diverged: %v vs %v", i, serial.Fractions[i], wide.Fractions[i])
+		}
+	}
+}
+
+func TestMeasureChannelFaultGapsWorkerCountInvariance(t *testing.T) {
+	topo := PaperTopology(8)
+	serial := MeasureChannelFaultGaps(2000, topo, 30, 99, 1)
+	wide := MeasureChannelFaultGaps(2000, topo, 30, 99, 8)
+	if serial != wide {
+		t.Fatalf("workers=1 gap %v diverged from workers=8 gap %v", serial, wide)
+	}
+}
+
+func TestTrialSeedsDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for i := 0; i < 10000; i++ {
+		s := TrialSeed(1, i)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("trials %d and %d share seed %d", prev, i, s)
+		}
+		seen[s] = i
 	}
 }
 

@@ -1,0 +1,44 @@
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Progress is a done/total ticker for long campaigns, redrawn in place with
+// carriage returns (the CLIs point it at stderr so stdout stays
+// byte-identical at any worker count). All methods are safe for concurrent
+// use, and a nil *Progress is a valid no-op — callers thread it through
+// unconditionally.
+type Progress struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+	total int
+	done  int
+}
+
+// NewProgress builds a ticker writing to w; a nil writer or non-positive
+// total returns the nil no-op Progress.
+func NewProgress(w io.Writer, label string, total int) *Progress {
+	if w == nil || total <= 0 {
+		return nil
+	}
+	return &Progress{w: w, label: label, total: total}
+}
+
+// Step records one completed task and redraws the line; the final step
+// terminates it with a newline.
+func (p *Progress) Step() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "\r%s %d/%d", p.label, p.done, p.total)
+	if p.done >= p.total {
+		fmt.Fprintln(p.w)
+	}
+}

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"io"
 	"sort"
 
 	"eccparity/internal/core"
 	"eccparity/internal/ecc"
 	"eccparity/internal/faultmodel"
+	"eccparity/internal/parallel"
 	"eccparity/internal/stats"
 	"eccparity/internal/workload"
 )
@@ -33,6 +35,23 @@ func WithWarmup(n int) Option {
 	return func(c *Config) { c.WarmupAccesses = n }
 }
 
+// WithSeed overrides the per-cell workload seed. Same seed ⇒ same numbers,
+// at any worker count.
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithWorkers bounds the worker pool of the grid runners (≤0 = NumCPU).
+// Purely a throughput knob: results do not depend on it.
+func WithWorkers(n int) Option {
+	return func(c *Config) { c.Workers = n }
+}
+
+// WithProgress directs the grid runners' done/total ticker to w.
+func WithProgress(w io.Writer) Option {
+	return func(c *Config) { c.ProgressW = w }
+}
+
 // Evaluation holds the full (scheme × workload) result matrix for one
 // system class, from which Figs. 9–17 all derive.
 type Evaluation struct {
@@ -41,7 +60,10 @@ type Evaluation struct {
 }
 
 // NewEvaluation runs the matrix for the given schemes and workloads; nil
-// slices mean "all".
+// slices mean "all". The cells are independent simulations, so they fan out
+// over a bounded worker pool (WithWorkers; default NumCPU) — each cell's
+// randomness derives only from its own Config, so the matrix is
+// bit-identical at any worker count.
 func NewEvaluation(class SystemClass, schemeKeys, workloads []string, opts ...Option) *Evaluation {
 	if schemeKeys == nil {
 		schemeKeys = []string{"chipkill36", "chipkill18", "lotecc9", "multiecc", "lotecc5", "lotecc5+parity", "raim", "raim+parity"}
@@ -49,16 +71,36 @@ func NewEvaluation(class SystemClass, schemeKeys, workloads []string, opts ...Op
 	if workloads == nil {
 		workloads = workload.Names()
 	}
-	ev := &Evaluation{Class: class, Results: map[string]map[string]Result{}}
+	type cell struct{ scheme, wl string }
+	cells := make([]cell, 0, len(schemeKeys)*len(workloads))
 	for _, sk := range schemeKeys {
-		ev.Results[sk] = map[string]Result{}
 		for _, wl := range workloads {
-			cfg := DefaultConfig(sk, class, wl)
-			for _, o := range opts {
-				o(&cfg)
-			}
-			ev.Results[sk][wl] = Run(cfg)
+			cells = append(cells, cell{sk, wl})
 		}
+	}
+	cfgFor := func(c cell) Config {
+		cfg := DefaultConfig(c.scheme, class, c.wl)
+		for _, o := range opts {
+			o(&cfg)
+		}
+		return cfg
+	}
+	ev := &Evaluation{Class: class, Results: map[string]map[string]Result{}}
+	if len(cells) == 0 {
+		return ev
+	}
+	grid := cfgFor(cells[0]) // the grid-level knobs are cell-invariant
+	prog := parallel.NewProgress(grid.ProgressW, "sim "+class.String(), len(cells))
+	results := parallel.Collect(len(cells), grid.Workers, func(i int) Result {
+		r := Run(cfgFor(cells[i]))
+		prog.Step()
+		return r
+	})
+	for i, c := range cells {
+		if ev.Results[c.scheme] == nil {
+			ev.Results[c.scheme] = map[string]Result{}
+		}
+		ev.Results[c.scheme][c.wl] = results[i]
 	}
 	return ev
 }
@@ -224,18 +266,28 @@ type Fig9Row struct {
 }
 
 // Fig9Bandwidth characterizes the workloads on the dual-channel commercial
-// chipkill system, as the paper does.
+// chipkill system, as the paper does. The sixteen per-workload simulations
+// fan out over the worker pool (WithWorkers), results in spec order.
 func Fig9Bandwidth(opts ...Option) []Fig9Row {
-	rows := make([]Fig9Row, 0, 16)
-	for _, spec := range workload.Specs() {
-		cfg := DefaultConfig("chipkill36", DualEq, spec.Name)
+	specs := workload.Specs()
+	cfgFor := func(name string) Config {
+		cfg := DefaultConfig("chipkill36", DualEq, name)
 		for _, o := range opts {
 			o(&cfg)
 		}
-		r := Run(cfg)
-		rows = append(rows, Fig9Row{Workload: spec.Name, Utilization: r.BandwidthUtil, GBs: r.BandwidthGBs, Bin2: spec.Bin2})
+		return cfg
 	}
-	return rows
+	if len(specs) == 0 {
+		return nil
+	}
+	grid := cfgFor(specs[0].Name)
+	prog := parallel.NewProgress(grid.ProgressW, "fig9", len(specs))
+	return parallel.Collect(len(specs), grid.Workers, func(i int) Fig9Row {
+		spec := specs[i]
+		r := Run(cfgFor(spec.Name))
+		prog.Step()
+		return Fig9Row{Workload: spec.Name, Utilization: r.BandwidthUtil, GBs: r.BandwidthGBs, Bin2: spec.Bin2}
+	})
 }
 
 // Fig1Row is one scheme's capacity-overhead breakdown.
@@ -265,11 +317,13 @@ type Table3Row struct {
 }
 
 // Table3Capacity regenerates Table III. The EOL columns use the Fig. 8
-// Monte Carlo marked fraction for the paper's 4-rank/9-chip topology.
-func Table3Capacity(mcTrials int, seed int64) []Table3Row {
+// Monte Carlo marked fraction for the paper's 4-rank/9-chip topology;
+// trials fan out over at most workers goroutines (≤0 = NumCPU) with
+// worker-count-invariant results.
+func Table3Capacity(mcTrials int, seed int64, workers int) []Table3Row {
 	frac := func(channels int) float64 {
 		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(channels), faultmodel.DefaultRates(),
-			7*faultmodel.HoursPerYear, mcTrials, seed)
+			7*faultmodel.HoursPerYear, mcTrials, seed, workers)
 		return res.MeanFraction
 	}
 	lot5 := ecc.R(ecc.NewLOTECC5())
@@ -317,12 +371,14 @@ type Fig8Row struct {
 	P999     float64
 }
 
-// Fig8EOLFractions regenerates Fig. 8 across channel counts.
-func Fig8EOLFractions(trials int, seed int64) []Fig8Row {
+// Fig8EOLFractions regenerates Fig. 8 across channel counts; each channel
+// count's Monte Carlo trials fan out over at most workers goroutines
+// (≤0 = NumCPU) with worker-count-invariant results.
+func Fig8EOLFractions(trials int, seed int64, workers int) []Fig8Row {
 	rows := []Fig8Row{}
 	for _, n := range []int{2, 4, 8, 16} {
 		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(n), faultmodel.DefaultRates(),
-			7*faultmodel.HoursPerYear, trials, seed)
+			7*faultmodel.HoursPerYear, trials, seed, workers)
 		rows = append(rows, Fig8Row{Channels: n, Mean: res.MeanFraction, P999: res.P999Fraction})
 	}
 	return rows

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"io"
 
 	"eccparity/internal/cache"
 	"eccparity/internal/core"
@@ -53,6 +54,16 @@ type Config struct {
 	// with a row-buffer-friendly address map (the row-policy ablation; the
 	// paper evaluates close-page).
 	OpenPage bool
+	// Workers bounds the goroutines used by the grid runners
+	// (NewEvaluation, Fig9Bandwidth) that fan independent Run calls out
+	// over a worker pool; ≤0 means runtime.NumCPU(). A single Run is
+	// always sequential, and because every cell's randomness derives only
+	// from its own Config, grid results are bit-identical at any setting.
+	Workers int
+	// ProgressW, when non-nil, receives a done/total ticker line from the
+	// grid runners, one step per completed simulation cell (the CLIs pass
+	// os.Stderr so stdout stays byte-identical at any worker count).
+	ProgressW io.Writer
 }
 
 // DefaultConfig returns the standard evaluation configuration for one

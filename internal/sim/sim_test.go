@@ -233,7 +233,7 @@ func TestFig1Rows(t *testing.T) {
 }
 
 func TestTable3StaticValues(t *testing.T) {
-	rows := Table3Capacity(200, 5)
+	rows := Table3Capacity(200, 5, 0)
 	want := map[string]float64{
 		"36-device commercial chipkill correct": 0.125,
 		"LOT-ECC5":                              0.406,
@@ -270,7 +270,7 @@ func TestFig2Shape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
-	rows := Fig8EOLFractions(400, 7)
+	rows := Fig8EOLFractions(400, 7, 0)
 	for _, r := range rows {
 		if r.Mean <= 0 || r.Mean > 0.05 {
 			t.Errorf("channels=%d: mean fraction %.4f out of plausible range", r.Channels, r.Mean)
@@ -294,6 +294,60 @@ func TestFig18PaperPoint(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("missing the paper's reference point")
+	}
+}
+
+// TestEvaluationWorkerCountInvariance is the determinism regression test
+// for the simulation grid: the (scheme × workload) matrix must be
+// bit-identical whether cells run serially or spread over many goroutines.
+func TestEvaluationWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *Evaluation {
+		return NewEvaluation(QuadEq,
+			[]string{"chipkill18", "lotecc5+parity"},
+			[]string{"mcf", "lbm"},
+			WithCycles(60000), WithWarmup(5000), WithWorkers(workers))
+	}
+	serial, wide := run(1), run(8)
+	for scheme, m := range serial.Results {
+		for wl, a := range m {
+			b := wide.Results[scheme][wl]
+			if a.EPI != b.EPI || a.IPC != b.IPC || a.AccessesPerInstr != b.AccessesPerInstr ||
+				a.Mem != b.Mem || a.Cache != b.Cache {
+				t.Fatalf("%s/%s diverged across worker counts:\nworkers=1: %+v\nworkers=8: %+v",
+					scheme, wl, a, b)
+			}
+		}
+	}
+}
+
+// TestFig9WorkerCountInvariance: the per-workload characterization keeps
+// spec order and identical numbers at any worker count.
+func TestFig9WorkerCountInvariance(t *testing.T) {
+	opts := func(w int) []Option {
+		return []Option{WithCycles(40000), WithWarmup(4000), WithWorkers(w)}
+	}
+	serial := Fig9Bandwidth(opts(1)...)
+	wide := Fig9Bandwidth(opts(8)...)
+	if len(serial) != len(wide) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(wide))
+	}
+	for i := range serial {
+		if serial[i] != wide[i] {
+			t.Fatalf("row %d diverged: %+v vs %+v", i, serial[i], wide[i])
+		}
+	}
+}
+
+func TestWithSeedChangesWorkloadStream(t *testing.T) {
+	base := fastCfg("chipkill18", QuadEq, "mcf")
+	WithSeed(2)(&base)
+	if base.Seed != 2 {
+		t.Fatalf("WithSeed not applied: %d", base.Seed)
+	}
+	a := Run(base)
+	b := Run(fastCfg("chipkill18", QuadEq, "mcf")) // seed 1
+	if a.Instructions == b.Instructions && a.EPI == b.EPI {
+		t.Fatal("different seeds produced identical runs")
 	}
 }
 
