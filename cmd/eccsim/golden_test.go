@@ -1,0 +1,82 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"os"
+	"testing"
+)
+
+// goldenAllHash is the SHA-256 of `eccsim -exp all` stdout at the reduced
+// budget below, captured from the pre-optimization engine (PR 1 state,
+// commit 1dad368) at seed 1. The hot-path rework of the simulation engine
+// must keep every byte of this output identical: the hash pins both the
+// determinism guarantee and the numeric equivalence of the optimized
+// engine, at any worker count.
+const goldenAllHash = "0949639dce5f84f86933a2a77eb4e9f759e640ec4663adff796c42c0a33a68e8"
+
+// goldenParams is the reduced budget: big enough that every experiment
+// exercises its real code path (warmed cache, ECC/XOR steady state, Monte
+// Carlo percentiles), small enough to run under -race in CI.
+var goldenParams = runParams{
+	Cycles:  8000,
+	Warmup:  1000,
+	Trials:  40,
+	Seed:    1,
+	Workers: 1,
+}
+
+// goldenRun executes the full experiment dispatcher with stdout captured
+// and returns the SHA-256 of everything it printed.
+func goldenRun(t *testing.T, workers int) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+
+	h := sha256.New()
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(h, r)
+		done <- err
+	}()
+
+	p := goldenParams
+	p.Workers = workers
+	ok := runExperiments("all", p)
+	w.Close()
+	os.Stdout = old
+	if err := <-done; err != nil {
+		t.Fatalf("draining stdout: %v", err)
+	}
+	if !ok {
+		t.Fatal("runExperiments did not recognize \"all\"")
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenOutputSeed1 asserts that the full `-exp all` pipeline emits
+// byte-identical stdout to the unoptimized engine at seed 1, both serially
+// and with a fan-out pool — the end-to-end determinism + numeric
+// equivalence regression for the hot-path optimization work.
+func TestGoldenOutputSeed1(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		if got := goldenRun(t, workers); got != goldenAllHash {
+			t.Errorf("workers=%d: stdout hash %s, want %s (engine output diverged from the golden baseline)",
+				workers, got, goldenAllHash)
+		}
+	}
+}
+
+func TestRunExperimentsRejectsUnknownID(t *testing.T) {
+	p := goldenParams
+	p.Progress = io.Discard
+	if runExperiments("fig99", p) {
+		t.Fatal("unknown experiment id must be rejected")
+	}
+}

@@ -29,6 +29,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"sort"
@@ -36,6 +37,7 @@ import (
 	"eccparity/internal/cpu"
 	"eccparity/internal/ecc"
 	"eccparity/internal/faultmodel"
+	"eccparity/internal/prof"
 	"eccparity/internal/sim"
 )
 
@@ -46,6 +48,8 @@ func main() {
 	trials := flag.Int("trials", 2000, "Monte Carlo trials for EOL studies")
 	seed := flag.Int64("seed", 1, "workload and Monte Carlo seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation grids and Monte Carlo (<=0: NumCPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.BoolVar(&csvOut, "csv", false, "emit comparison figures as CSV rows")
 	flag.Parse()
 
@@ -53,33 +57,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
 		os.Exit(2)
 	}
-
-	opts := []sim.Option{
-		sim.WithCycles(*cycles), sim.WithWarmup(*warmup),
-		sim.WithSeed(*seed), sim.WithWorkers(*workers),
-		sim.WithProgress(os.Stderr),
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
+
+	ok := runExperiments(*exp, runParams{
+		Cycles:  *cycles,
+		Warmup:  *warmup,
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Progress: os.Stderr,
+	})
+	stopProf()
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (fig2/fig8/fig18 live in cmd/faultmc)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// runParams carries the CLI knobs into the experiment dispatcher; the golden
+// regression test drives the same path at a reduced budget.
+type runParams struct {
+	Cycles   float64
+	Warmup   int
+	Trials   int
+	Seed     int64
+	Workers  int
+	Progress io.Writer
+}
+
+// runExperiments dispatches one experiment id (or "all") and reports whether
+// the id was known. Stdout depends only on the params, never on scheduling.
+func runExperiments(exp string, p runParams) bool {
+	opts := []sim.Option{
+		sim.WithCycles(p.Cycles), sim.WithWarmup(p.Warmup),
+		sim.WithSeed(p.Seed), sim.WithWorkers(p.Workers),
+	}
+	if p.Progress != nil {
+		opts = append(opts, sim.WithProgress(p.Progress))
+	}
+	es := &evalSet{opts: opts, cache: map[sim.SystemClass]*sim.Evaluation{}}
 
 	run := map[string]func(){
 		"fig1":       fig1,
 		"table1":     table1,
 		"table2":     table2,
-		"table3":     func() { table3(*trials, *seed, *workers) },
+		"table3":     func() { table3(p.Trials, p.Seed, p.Workers) },
 		"fig9":       func() { fig9(opts) },
-		"fig10":      func() { figEPI(sim.QuadEq, opts) },
-		"fig11":      func() { figEPI(sim.DualEq, opts) },
-		"fig12":      func() { figDyn(opts) },
-		"fig13":      func() { figBg(opts) },
-		"fig14":      func() { figPerf(sim.QuadEq, opts) },
-		"fig15":      func() { figPerf(sim.DualEq, opts) },
-		"fig16":      func() { figAcc(sim.QuadEq, opts) },
-		"fig17":      func() { figAcc(sim.DualEq, opts) },
+		"fig10":      func() { figEPI(es, sim.QuadEq) },
+		"fig11":      func() { figEPI(es, sim.DualEq) },
+		"fig12":      func() { figDyn(es) },
+		"fig13":      func() { figBg(es) },
+		"fig14":      func() { figPerf(es, sim.QuadEq) },
+		"fig15":      func() { figPerf(es, sim.DualEq) },
+		"fig16":      func() { figAcc(es, sim.QuadEq) },
+		"fig17":      func() { figAcc(es, sim.DualEq) },
 		"counters":   counters,
 		"hpcstall":   hpcStall,
 		"undetected": undetected,
 		"mixedrank":  mixedRank,
 	}
-	if *exp == "all" {
+	if exp == "all" {
 		keys := make([]string, 0, len(run))
 		for k := range run {
 			keys = append(keys, k)
@@ -88,30 +129,33 @@ func main() {
 		for _, k := range keys {
 			run[k]()
 		}
-		return
+		return true
 	}
-	fn, ok := run[*exp]
+	fn, ok := run[exp]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (fig2/fig8/fig18 live in cmd/faultmc)\n", *exp)
-		os.Exit(2)
+		return false
 	}
 	fn()
+	return true
 }
 
 func header(title string) {
 	fmt.Printf("\n=== %s ===\n", title)
 }
 
-// evalCache shares one (scheme × workload) matrix per system class across
-// figures when running -exp all.
-var evalCache = map[sim.SystemClass]*sim.Evaluation{}
+// evalSet shares one (scheme × workload) matrix per system class across
+// figures when running -exp all; each runExperiments call gets its own.
+type evalSet struct {
+	opts  []sim.Option
+	cache map[sim.SystemClass]*sim.Evaluation
+}
 
-func evaluation(class sim.SystemClass, opts []sim.Option) *sim.Evaluation {
-	if ev, ok := evalCache[class]; ok {
+func (es *evalSet) get(class sim.SystemClass) *sim.Evaluation {
+	if ev, ok := es.cache[class]; ok {
 		return ev
 	}
-	ev := sim.NewEvaluation(class, nil, nil, opts...)
-	evalCache[class] = ev
+	ev := sim.NewEvaluation(class, nil, nil, es.opts...)
+	es.cache[class] = ev
 	return ev
 }
 
@@ -226,40 +270,40 @@ func printComparison(c sim.Comparison, unit string) {
 	}
 }
 
-func figEPI(class sim.SystemClass, opts []sim.Option) {
+func figEPI(es *evalSet, class sim.SystemClass) {
 	header(fmt.Sprintf("Fig. %s — memory EPI reduction, %s systems", figNo(class, "10", "11"), class))
-	ev := evaluation(class, opts)
+	ev := es.get(class)
 	fmt.Println("LOT-ECC5 + ECC Parity:")
 	printComparison(ev.Fig10EPI(), "%")
 	fmt.Println("RAIM + ECC Parity:")
 	printComparison(ev.FigRAIMEPI(), "%")
 }
 
-func figDyn(opts []sim.Option) {
+func figDyn(es *evalSet) {
 	header("Fig. 12 — dynamic EPI reduction, quad-equivalent systems")
-	ev := evaluation(sim.QuadEq, opts)
+	ev := es.get(sim.QuadEq)
 	printComparison(ev.Fig12Dynamic(), "%")
 	fmt.Println("RAIM + ECC Parity:")
 	printComparison(ev.Fig12DynamicRAIM(), "%")
 }
 
-func figBg(opts []sim.Option) {
+func figBg(es *evalSet) {
 	header("Fig. 13 — background EPI reduction, quad-equivalent systems")
-	ev := evaluation(sim.QuadEq, opts)
+	ev := es.get(sim.QuadEq)
 	printComparison(ev.Fig13Background(), "%")
 }
 
-func figPerf(class sim.SystemClass, opts []sim.Option) {
+func figPerf(es *evalSet, class sim.SystemClass) {
 	header(fmt.Sprintf("Fig. %s — performance normalized to baselines, %s systems", figNo(class, "14", "15"), class))
-	ev := evaluation(class, opts)
+	ev := es.get(class)
 	printComparison(ev.Fig14Perf(), "x")
 	fmt.Println("RAIM + ECC Parity:")
 	printComparison(ev.Fig14PerfRAIM(), "x")
 }
 
-func figAcc(class sim.SystemClass, opts []sim.Option) {
+func figAcc(es *evalSet, class sim.SystemClass) {
 	header(fmt.Sprintf("Fig. %s — memory accesses per instruction normalized (lower is better), %s systems", figNo(class, "16", "17"), class))
-	ev := evaluation(class, opts)
+	ev := es.get(class)
 	printComparison(ev.Fig16Accesses(), "x")
 }
 

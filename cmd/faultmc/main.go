@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"eccparity/internal/faultmodel"
+	"eccparity/internal/prof"
 	"eccparity/internal/sim"
 )
 
@@ -28,12 +29,20 @@ func main() {
 	trials := flag.Int("trials", 4000, "Monte Carlo trials")
 	seed := flag.Int64("seed", 1, "Monte Carlo seed")
 	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte Carlo trials (<=0: NumCPU)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *trials < 1 {
 		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer stopProf()
 
 	switch *exp {
 	case "fig2":

@@ -1,0 +1,51 @@
+// Package prof wires the -cpuprofile/-memprofile CLI flags to
+// runtime/pprof so every command can emit profiles on a clean exit.
+// Future performance work should start from one of these profiles rather
+// than a guess:
+//
+//	eccsim -exp fig10 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling if cpuPath is nonempty and returns a stop
+// function that must run on clean exit: it finishes the CPU profile and, if
+// memPath is nonempty, writes a heap profile (after a GC, so the profile
+// shows live memory rather than garbage).
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: create mem profile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: write mem profile: %v\n", err)
+			}
+		}
+	}, nil
+}
