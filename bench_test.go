@@ -396,3 +396,18 @@ func BenchmarkAblationRowPolicy(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSingleRunHotPath times one sim.Run — the unit the hot-path
+// optimization work targets (indexed core heap, positional-LRU cache sets,
+// open-addressed inflight table, bus slot rings, tabulated GF multiplies).
+// -benchmem makes allocation regressions in the access path visible; pair
+// with -cpuprofile/-memprofile to see where a run's cycles go.
+func BenchmarkSingleRunHotPath(b *testing.B) {
+	cfg := sim.DefaultConfig("chipkill18", sim.QuadEq, "mcf")
+	cfg.MeasureCycles = 150000
+	cfg.WarmupAccesses = 20000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim.Run(cfg)
+	}
+}

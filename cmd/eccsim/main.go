@@ -64,11 +64,11 @@ func main() {
 	}
 
 	ok := runExperiments(*exp, runParams{
-		Cycles:  *cycles,
-		Warmup:  *warmup,
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
+		Cycles:   *cycles,
+		Warmup:   *warmup,
+		Trials:   *trials,
+		Seed:     *seed,
+		Workers:  *workers,
 		Progress: os.Stderr,
 	})
 	stopProf()

@@ -1,0 +1,28 @@
+package cache
+
+import (
+	"testing"
+
+	"eccparity/internal/raceflag"
+)
+
+// TestAccessSteadyStateAllocs pins the zero-allocation property of the
+// access path: misses, hits, evictions and prefetch fills must all run
+// without touching the heap, since the simulation engine performs tens of
+// millions of them per run.
+func TestAccessSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	c := New(1<<16, 16, 64)
+	addr := uint64(0)
+	n := testing.AllocsPerRun(1000, func() {
+		c.Access(addr, Data, true)  // miss (evicting once the cache fills)
+		c.Access(addr, Data, false) // hit
+		c.Allocate(addr+64, Data)   // prefetch-style fill
+		addr += 64
+	})
+	if n != 0 {
+		t.Fatalf("access path allocates %v per op, want 0", n)
+	}
+}

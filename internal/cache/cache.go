@@ -6,6 +6,15 @@
 //
 // ECC-related lines are inserted with the same insertion and replacement
 // policy as data lines, as §IV-C of the paper models.
+//
+// The cache sits on the simulator's hottest path (every warmup and demand
+// access scans one set), so the layout is tuned hard: each way is a single
+// uint64 packing the line address, kind, dirty and valid bits, and each
+// set keeps its ways physically ordered most-recently-used first. LRU
+// needs no timestamps — a hit rotates its way to the front, an insert
+// lands at the front, and the victim is simply the last way. Valid ways
+// always form a prefix (lines are never invalidated), so scans stop at
+// the first zero key and a whole 16-way set spans two cache lines.
 package cache
 
 import "fmt"
@@ -57,38 +66,56 @@ func (s *Stats) MissRate(k Kind) float64 {
 	return float64(s.Misses[k]) / float64(total)
 }
 
-type entry struct {
-	valid bool
-	tag   uint64 // line address (addr / lineBytes)
-	kind  Kind
-	dirty bool
-	used  uint64 // LRU timestamp
+// A way's key packs the line address (bits 3+), the kind+1 (bits 1-2, so
+// key==0 means invalid) and the dirty flag (bit 0).
+const dirtyBit = 1
+
+// packKey builds the clean-line key for (lineAddr, kind).
+func packKey(la uint64, kind Kind) uint64 {
+	return la<<3 | uint64(kind+1)<<1
+}
+
+// unpack recovers the eviction record from a valid key.
+func unpack(key uint64, lineBytes int) Evicted {
+	return Evicted{
+		Addr:  (key >> 3) * uint64(lineBytes),
+		Kind:  Kind((key>>1)&3) - 1,
+		Dirty: key&dirtyBit != 0,
+	}
 }
 
 // Cache is a set-associative LRU cache indexed by byte address.
 type Cache struct {
-	sets      [][]entry
+	keys      []uint64 // nsets × ways, flat; each set MRU-first
 	ways      int
 	lineBytes int
+	lineShift uint
 	setMask   uint64
-	tick      uint64
 	stats     Stats
 }
 
 // New builds a cache. sizeBytes/lineBytes/ways must yield a power-of-two
-// set count.
+// set count and lineBytes must be a power of two.
 func New(sizeBytes, ways, lineBytes int) *Cache {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d not a power of two", lineBytes))
+	}
 	lines := sizeBytes / lineBytes
 	nsets := lines / ways
 	if nsets <= 0 || nsets&(nsets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", nsets))
 	}
-	sets := make([][]entry, nsets)
-	backing := make([]entry, nsets*ways)
-	for i := range sets {
-		sets[i], backing = backing[:ways], backing[ways:]
+	var shift uint
+	for 1<<shift != lineBytes {
+		shift++
 	}
-	return &Cache{sets: sets, ways: ways, lineBytes: lineBytes, setMask: uint64(nsets - 1)}
+	return &Cache{
+		keys:      make([]uint64, nsets*ways),
+		ways:      ways,
+		lineBytes: lineBytes,
+		lineShift: shift,
+		setMask:   uint64(nsets - 1),
+	}
 }
 
 // LineBytes returns the cache line size.
@@ -97,57 +124,96 @@ func (c *Cache) LineBytes() int { return c.lineBytes }
 // Stats returns the event counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 
-// lineAddr converts a byte address to a line address.
-func (c *Cache) lineAddr(addr uint64) uint64 { return addr / uint64(c.lineBytes) }
+// set returns the ways of the set holding line address la, MRU first.
+func (c *Cache) set(la uint64) []uint64 {
+	base := int(la&c.setMask) * c.ways
+	return c.keys[base : base+c.ways]
+}
+
+// insert places a new line at the set's MRU position. vi is the way being
+// consumed: the first invalid way, or the LRU tail when the set is full.
+// Everything above it slides down one position.
+func (c *Cache) insert(set []uint64, want uint64, kind Kind, vi int) (victim Evicted, evicted bool) {
+	c.stats.Misses[kind]++
+	if old := set[vi]; old != 0 {
+		victim = unpack(old, c.lineBytes)
+		evicted = true
+		c.stats.Evictions[victim.Kind]++
+	}
+	copy(set[1:vi+1], set[:vi])
+	set[0] = want
+	return victim, evicted
+}
 
 // Access looks up addr; on a miss it allocates, possibly evicting. The
-// returned Evicted (nil if none, or the victim was clean and the caller
-// asked only for dirty victims via its Dirty field) lets the caller issue
-// the writeback and any ECC-maintenance traffic.
-func (c *Cache) Access(addr uint64, kind Kind, write bool) (hit bool, victim *Evicted) {
-	la := c.lineAddr(addr)
-	set := c.sets[la&c.setMask]
-	c.tick++
-	for i := range set {
-		e := &set[i]
-		if e.valid && e.tag == la && e.kind == kind {
-			e.used = c.tick
+// victim (valid only when evicted is true) lets the caller issue the
+// writeback and any ECC-maintenance traffic; its Dirty field says whether
+// a writeback is due.
+//
+// Recency order is positional: the hit path rotates the touched way to
+// the front of the set. This is observably identical to timestamp LRU —
+// the victim choice depends only on the relative recency of the ways, and
+// which of several invalid ways a fill consumes is never visible.
+func (c *Cache) Access(addr uint64, kind Kind, write bool) (hit bool, victim Evicted, evicted bool) {
+	la := addr >> c.lineShift
+	set := c.set(la)
+	want := packKey(la, kind)
+	vi := c.ways - 1
+	for i, k := range set {
+		if k&^uint64(dirtyBit) == want {
 			if write {
-				e.dirty = true
+				k |= dirtyBit
 			}
+			copy(set[1:i+1], set[:i])
+			set[0] = k
 			c.stats.Hits[kind]++
-			return true, nil
+			return true, Evicted{}, false
 		}
-	}
-	c.stats.Misses[kind]++
-	// Choose victim: invalid way first, else LRU.
-	vi := 0
-	for i := range set {
-		if !set[i].valid {
+		if k == 0 {
 			vi = i
 			break
 		}
-		if set[i].used < set[vi].used {
+	}
+	if write {
+		want |= dirtyBit
+	}
+	victim, evicted = c.insert(set, want, kind, vi)
+	return false, victim, evicted
+}
+
+// Allocate fills addr like a missing Access would, but leaves an already
+// present line completely untouched — no LRU promotion, no hit count —
+// exactly as if the caller had Probed first and skipped the Access. This
+// is the prefetcher's probe-then-fill pair fused into one set scan.
+func (c *Cache) Allocate(addr uint64, kind Kind) (present bool, victim Evicted, evicted bool) {
+	la := addr >> c.lineShift
+	set := c.set(la)
+	want := packKey(la, kind)
+	vi := c.ways - 1
+	for i, k := range set {
+		if k&^uint64(dirtyBit) == want {
+			return true, Evicted{}, false
+		}
+		if k == 0 {
 			vi = i
+			break
 		}
 	}
-	v := &set[vi]
-	if v.valid {
-		victim = &Evicted{Addr: v.tag * uint64(c.lineBytes), Kind: v.kind, Dirty: v.dirty}
-		c.stats.Evictions[v.kind]++
-	}
-	*v = entry{valid: true, tag: la, kind: kind, dirty: write, used: c.tick}
-	return false, victim
+	victim, evicted = c.insert(set, want, kind, vi)
+	return false, victim, evicted
 }
 
 // Probe reports whether addr is cached with the given kind, without
 // touching LRU state or allocating.
 func (c *Cache) Probe(addr uint64, kind Kind) bool {
-	la := c.lineAddr(addr)
-	set := c.sets[la&c.setMask]
-	for i := range set {
-		if set[i].valid && set[i].tag == la && set[i].kind == kind {
+	la := addr >> c.lineShift
+	want := packKey(la, kind)
+	for _, k := range c.set(la) {
+		if k&^uint64(dirtyBit) == want {
 			return true
+		}
+		if k == 0 {
+			return false
 		}
 	}
 	return false
@@ -156,13 +222,10 @@ func (c *Cache) Probe(addr uint64, kind Kind) bool {
 // FlushDirty evicts every dirty line, invoking fn for each; used at the end
 // of a simulation to drain pending writebacks.
 func (c *Cache) FlushDirty(fn func(Evicted)) {
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			e := &c.sets[si][wi]
-			if e.valid && e.dirty {
-				fn(Evicted{Addr: e.tag * uint64(c.lineBytes), Kind: e.kind, Dirty: true})
-				e.dirty = false
-			}
+	for i, k := range c.keys {
+		if k&dirtyBit != 0 {
+			fn(unpack(k, c.lineBytes))
+			c.keys[i] = k &^ dirtyBit
 		}
 	}
 }

@@ -7,11 +7,11 @@ import (
 
 func TestHitAfterMiss(t *testing.T) {
 	c := New(8<<20, 16, 64)
-	hit, _ := c.Access(0x1000, Data, false)
+	hit, _, _ := c.Access(0x1000, Data, false)
 	if hit {
 		t.Fatal("first access must miss")
 	}
-	hit, _ = c.Access(0x1000, Data, false)
+	hit, _, _ = c.Access(0x1000, Data, false)
 	if !hit {
 		t.Fatal("second access must hit")
 	}
@@ -23,7 +23,7 @@ func TestHitAfterMiss(t *testing.T) {
 func TestSameLineDifferentOffsetsHit(t *testing.T) {
 	c := New(8<<20, 16, 128)
 	c.Access(0x1000, Data, false)
-	if hit, _ := c.Access(0x1040, Data, false); !hit {
+	if hit, _, _ := c.Access(0x1040, Data, false); !hit {
 		t.Fatal("offset within a 128B line must hit — this is the large-line spatial-locality effect")
 	}
 }
@@ -31,7 +31,7 @@ func TestSameLineDifferentOffsetsHit(t *testing.T) {
 func TestKindsDoNotAlias(t *testing.T) {
 	c := New(8<<20, 16, 64)
 	c.Access(0x2000, Data, false)
-	if hit, _ := c.Access(0x2000, XOR, false); hit {
+	if hit, _, _ := c.Access(0x2000, XOR, false); hit {
 		t.Fatal("same address with different kind must not hit")
 	}
 }
@@ -40,9 +40,9 @@ func TestDirtyEvictionReported(t *testing.T) {
 	c := New(1<<10, 1, 64) // 16 sets, direct mapped: easy conflicts
 	c.Access(0x0, Data, true)
 	// Same set: addresses 16 lines apart.
-	_, victim := c.Access(16*64, Data, false)
-	if victim == nil || !victim.Dirty || victim.Addr != 0 || victim.Kind != Data {
-		t.Fatalf("dirty victim not reported: %+v", victim)
+	_, victim, evicted := c.Access(16*64, Data, false)
+	if !evicted || !victim.Dirty || victim.Addr != 0 || victim.Kind != Data {
+		t.Fatalf("dirty victim not reported: %+v (evicted=%v)", victim, evicted)
 	}
 	if c.Stats().Evictions[Data] != 1 {
 		t.Fatal("eviction not counted")
@@ -52,9 +52,9 @@ func TestDirtyEvictionReported(t *testing.T) {
 func TestCleanEvictionReported(t *testing.T) {
 	c := New(1<<10, 1, 64)
 	c.Access(0x0, Data, false)
-	_, victim := c.Access(16*64, Data, false)
-	if victim == nil || victim.Dirty {
-		t.Fatalf("clean victim mis-reported: %+v", victim)
+	_, victim, evicted := c.Access(16*64, Data, false)
+	if !evicted || victim.Dirty {
+		t.Fatalf("clean victim mis-reported: %+v (evicted=%v)", victim, evicted)
 	}
 }
 
@@ -63,9 +63,9 @@ func TestLRUOrder(t *testing.T) {
 	c.Access(0, Data, false)
 	c.Access(64, Data, false)
 	c.Access(0, Data, false) // touch 0: 64 becomes LRU
-	_, victim := c.Access(128, Data, false)
-	if victim == nil || victim.Addr != 64 {
-		t.Fatalf("LRU victim should be 64, got %+v", victim)
+	_, victim, evicted := c.Access(128, Data, false)
+	if !evicted || victim.Addr != 64 {
+		t.Fatalf("LRU victim should be 64, got %+v (evicted=%v)", victim, evicted)
 	}
 }
 
@@ -74,9 +74,9 @@ func TestWriteSetsDirty(t *testing.T) {
 	c.Access(0, Data, false)
 	c.Access(0, Data, true) // hit-write dirties
 	c.Access(64, Data, false)
-	_, victim := c.Access(128, Data, false) // evicts 0
-	if victim == nil || !victim.Dirty {
-		t.Fatalf("hit-write must dirty the line: %+v", victim)
+	_, victim, evicted := c.Access(128, Data, false) // evicts 0
+	if !evicted || !victim.Dirty {
+		t.Fatalf("hit-write must dirty the line: %+v (evicted=%v)", victim, evicted)
 	}
 }
 
@@ -91,6 +91,41 @@ func TestProbeDoesNotAllocate(t *testing.T) {
 	c.Access(0x3000, ECC, false)
 	if !c.Probe(0x3000, ECC) {
 		t.Fatal("probe of present line")
+	}
+}
+
+func TestAllocateMatchesProbeThenAccess(t *testing.T) {
+	// Allocate is the prefetcher's Probe-then-Access pair fused into one
+	// scan: a present line is left untouched, an absent one fills exactly
+	// like a missing Access.
+	c := New(2*64, 2, 64)
+	if present, _, _ := c.Allocate(0, Data); present {
+		t.Fatal("allocate of absent line must report absent")
+	}
+	if !c.Probe(0, Data) {
+		t.Fatal("allocate must fill the line")
+	}
+	if c.Stats().Misses[Data] != 1 {
+		t.Fatalf("allocate miss not counted: %+v", c.Stats())
+	}
+	// Present line: no hit count, no LRU promotion.
+	c.Access(64, Data, false)
+	if present, _, _ := c.Allocate(0, Data); !present {
+		t.Fatal("allocate of present line must report present")
+	}
+	if c.Stats().Hits[Data] != 0 {
+		t.Fatal("allocate of present line must not count a hit")
+	}
+	// 0 was not promoted by Allocate, so it is still the LRU victim.
+	_, victim, evicted := c.Access(128, Data, false)
+	if !evicted || victim.Addr != 0 {
+		t.Fatalf("allocate must not touch LRU order: victim %+v (evicted=%v)", victim, evicted)
+	}
+	// Allocate can itself evict.
+	c2 := New(1<<10, 1, 64)
+	c2.Access(0, Data, true)
+	if _, v, ev := c2.Allocate(16*64, Data); !ev || v.Addr != 0 || !v.Dirty {
+		t.Fatalf("allocate eviction wrong: %+v (evicted=%v)", v, ev)
 	}
 }
 

@@ -32,15 +32,24 @@ type Core struct {
 	p            Params
 	time         float64
 	instructions uint64
-	// outstanding holds completion times of in-flight misses, oldest first.
-	outstanding []float64
+	// out is a ring buffer of in-flight miss completion times, sorted
+	// oldest-first starting at head. A fixed ring (rather than a slice
+	// re-sliced from the front) keeps the per-access window operations
+	// free of copying and reallocation.
+	out  []float64
+	head int
+	n    int
 	// StallCycles accumulates time spent blocked on the miss window.
 	StallCycles float64
 }
 
 // New builds a core.
 func New(p Params) *Core {
-	return &Core{p: p, outstanding: make([]float64, 0, p.MaxOutstanding)}
+	capacity := p.MaxOutstanding
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Core{p: p, out: make([]float64, capacity)}
 }
 
 // Time returns the core-local clock in cycles.
@@ -66,54 +75,87 @@ func (c *Core) AdvanceCompute(n int) {
 // completion time afterwards.
 func (c *Core) BeginMiss() float64 {
 	c.drain()
-	if len(c.outstanding) >= c.p.MaxOutstanding {
-		oldest := c.outstanding[0]
+	if c.n >= c.p.MaxOutstanding {
+		oldest := c.out[c.head]
 		if oldest > c.time {
 			c.StallCycles += oldest - c.time
 			c.time = oldest
 		}
-		c.outstanding = c.outstanding[1:]
+		c.pop()
 	}
 	return c.time
 }
 
 // CompleteMiss records the completion time of the miss issued at BeginMiss.
 func (c *Core) CompleteMiss(done float64) {
-	// Keep the list sorted (completion times are near-monotonic; a simple
+	if c.n == len(c.out) {
+		c.grow()
+	}
+	// Keep the ring sorted (completion times are near-monotonic; a simple
 	// insertion keeps the oldest-first invariant exact).
-	i := len(c.outstanding)
-	c.outstanding = append(c.outstanding, done)
-	for i > 0 && c.outstanding[i-1] > done {
-		c.outstanding[i] = c.outstanding[i-1]
+	i := c.n
+	c.n++
+	for i > 0 && c.out[c.idx(i-1)] > done {
+		c.out[c.idx(i)] = c.out[c.idx(i-1)]
 		i--
 	}
-	c.outstanding[i] = done
+	c.out[c.idx(i)] = done
 }
 
 // Hit charges an LLC hit. Hits are normally overlapped; when the miss
 // window is saturated the core is latency-bound and pays the hit latency.
 func (c *Core) Hit() {
 	c.drain()
-	if len(c.outstanding) >= c.p.MaxOutstanding {
+	if c.n >= c.p.MaxOutstanding {
 		c.time += float64(c.p.LLCHitCycles)
 	}
 }
 
+// idx maps a logical window position (0 = oldest) to a ring slot.
+func (c *Core) idx(i int) int {
+	i += c.head
+	if i >= len(c.out) {
+		i -= len(c.out)
+	}
+	return i
+}
+
+// pop discards the oldest in-flight miss.
+func (c *Core) pop() {
+	c.head++
+	if c.head == len(c.out) {
+		c.head = 0
+	}
+	c.n--
+}
+
+// grow doubles the ring; only reachable when callers push more completions
+// than MaxOutstanding without BeginMiss pacing them.
+func (c *Core) grow() {
+	bigger := make([]float64, 2*len(c.out))
+	for i := 0; i < c.n; i++ {
+		bigger[i] = c.out[c.idx(i)]
+	}
+	c.out = bigger
+	c.head = 0
+}
+
 // drain retires misses that completed before the current core time.
 func (c *Core) drain() {
-	for len(c.outstanding) > 0 && c.outstanding[0] <= c.time {
-		c.outstanding = c.outstanding[1:]
+	for c.n > 0 && c.out[c.head] <= c.time {
+		c.pop()
 	}
 }
 
 // Drain waits for every outstanding miss (end of simulation).
 func (c *Core) Drain() {
-	if n := len(c.outstanding); n > 0 {
-		last := c.outstanding[n-1]
+	if c.n > 0 {
+		last := c.out[c.idx(c.n-1)]
 		if last > c.time {
 			c.StallCycles += last - c.time
 			c.time = last
 		}
-		c.outstanding = c.outstanding[:0]
+		c.head = 0
+		c.n = 0
 	}
 }

@@ -47,6 +47,21 @@ func Mul(a, b byte) byte {
 	return expTable[int(logTable[a])+int(logTable[b])]
 }
 
+// MulTable returns the full product row of x: t[b] = Mul(x, b). Hot codec
+// loops (RS encoding, syndrome evaluation) index one precomputed row per
+// fixed operand instead of paying Mul's zero checks and two log lookups
+// for every byte.
+func MulTable(x byte) (t [Order]byte) {
+	if x == 0 {
+		return
+	}
+	lx := int(logTable[x])
+	for b := 1; b < Order; b++ {
+		t[b] = expTable[lx+int(logTable[b])]
+	}
+	return
+}
+
 // Div returns a/b in GF(2^8). Division by zero panics: it indicates a
 // decoder bug, never a data-dependent condition.
 func Div(a, b byte) byte {

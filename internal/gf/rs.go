@@ -17,6 +17,13 @@ import (
 type RS struct {
 	n, k int
 	gen  []byte // generator polynomial, highest degree first, degree r
+	// genMul[j] is the product row of gen[j+1]; Encode's long-division
+	// inner loop becomes one table index per check symbol. rootMul[i] is
+	// the product row of α^i, driving Syndromes' Horner evaluation the
+	// same way. Both are read-only after NewRS, so one codec is safe to
+	// share across worker goroutines.
+	genMul  [][Order]byte
+	rootMul [][Order]byte
 }
 
 // Errors reported by the decoder. ErrDetected means errors were detected but
@@ -37,7 +44,14 @@ func NewRS(n, k int) *RS {
 	for i := 0; i < r; i++ {
 		gen = PolyMul(gen, []byte{1, Exp(i)})
 	}
-	return &RS{n: n, k: k, gen: gen}
+	c := &RS{n: n, k: k, gen: gen}
+	c.genMul = make([][Order]byte, r)
+	c.rootMul = make([][Order]byte, r)
+	for i := 0; i < r; i++ {
+		c.genMul[i] = MulTable(gen[i+1])
+		c.rootMul[i] = MulTable(Exp(i))
+	}
+	return c
 }
 
 // N returns the total number of symbols per codeword.
@@ -68,7 +82,7 @@ func (c *RS) Encode(data []byte) []byte {
 		if factor != 0 {
 			for j := 0; j < r; j++ {
 				// gen[0] is always 1; skip it, apply to the rest.
-				rem[j] ^= Mul(c.gen[j+1], factor)
+				rem[j] ^= c.genMul[j][factor]
 			}
 		}
 	}
@@ -91,7 +105,13 @@ func (c *RS) Syndromes(cw []byte) []byte {
 	r := c.R()
 	syn := make([]byte, r)
 	for i := 0; i < r; i++ {
-		syn[i] = PolyEval(cw, Exp(i))
+		// Horner evaluation at α^i through the precomputed product row.
+		row := &c.rootMul[i]
+		var y byte
+		for _, cwb := range cw {
+			y = row[y] ^ cwb
+		}
+		syn[i] = y
 	}
 	return syn
 }

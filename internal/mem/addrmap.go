@@ -1,5 +1,10 @@
 package mem
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // AddressMapper implements the paper's device address mapping policy:
 // adjacent physical pages interleave across channels (balancing channel
 // bandwidth), and within a channel a high-performance map spreads
@@ -15,17 +20,34 @@ type AddressMapper struct {
 	// the open-page ablation) instead of interleaving lines across banks
 	// (the close-page high-performance map).
 	RowBufferFriendly bool
+
+	// Map sits on the simulation's hot path, where general 64-bit
+	// division is the most expensive ALU operation it would perform —
+	// and every geometry divisor except (sometimes) the channel count is
+	// a power of two, so the divides reduce to the shifts and masks
+	// precomputed here.
+	ready                bool
+	lineShift, pageShift uint
+	lpMask               uint64 // lines per page − 1
+	chShift              uint
+	chPow2               bool
+	bankShift            uint
+	bankPow2             bool
+	rankShift            uint
+	rankPow2             bool
 }
 
 // NewAddressMapper builds a mapper with 4KB pages.
 func NewAddressMapper(channels, ranks, banks, lineBytes int) *AddressMapper {
-	return &AddressMapper{
+	m := &AddressMapper{
 		Channels:        channels,
 		RanksPerChannel: ranks,
 		BanksPerRank:    banks,
 		LineBytes:       lineBytes,
 		PageBytes:       4096,
 	}
+	m.precompute()
+	return m
 }
 
 // Location is a physical placement of one memory line.
@@ -36,25 +58,58 @@ type Location struct {
 	Row     int
 }
 
+func pow2Shift(v int) (uint, bool) {
+	if v <= 0 || v&(v-1) != 0 {
+		return 0, false
+	}
+	return uint(bits.TrailingZeros64(uint64(v))), true
+}
+
+// precompute derives the shift/mask fast paths from the public geometry.
+func (m *AddressMapper) precompute() {
+	var ok bool
+	if m.lineShift, ok = pow2Shift(m.LineBytes); !ok {
+		panic(fmt.Sprintf("mem: line size %d not a power of two", m.LineBytes))
+	}
+	if m.pageShift, ok = pow2Shift(m.PageBytes); !ok {
+		panic(fmt.Sprintf("mem: page size %d not a power of two", m.PageBytes))
+	}
+	m.lpMask = uint64(m.PageBytes/m.LineBytes - 1)
+	m.chShift, m.chPow2 = pow2Shift(m.Channels)
+	m.bankShift, m.bankPow2 = pow2Shift(m.BanksPerRank)
+	m.rankShift, m.rankPow2 = pow2Shift(m.RanksPerChannel)
+	m.ready = true
+}
+
+// divMod divides n by the possibly-non-power-of-two divisor d given its
+// pow2Shift result; in the general case the compiler folds quotient and
+// remainder into a single DIV.
+func divMod(n uint64, d int, shift uint, pow2 bool) (q, r uint64) {
+	if pow2 {
+		return n >> shift, n & (uint64(d) - 1)
+	}
+	q = n / uint64(d)
+	return q, n - q*uint64(d)
+}
+
 // Map places a byte address.
 func (m *AddressMapper) Map(addr uint64) Location {
-	line := addr / uint64(m.LineBytes)
-	page := addr / uint64(m.PageBytes)
-	channel := int(page % uint64(m.Channels))
+	if !m.ready {
+		// Mapper built as a struct literal rather than NewAddressMapper.
+		m.precompute()
+	}
+	page := addr >> m.pageShift
+	chPage, channel := divMod(page, m.Channels, m.chShift, m.chPow2)
 	// Within the channel: interleave consecutive lines of a page across
 	// banks, and consecutive pages across ranks, so independent streams
 	// land on independent banks.
-	chPage := page / uint64(m.Channels)
 	if m.RowBufferFriendly {
-		bank := int(chPage % uint64(m.BanksPerRank))
-		rest := chPage / uint64(m.BanksPerRank)
-		rank := int(rest % uint64(m.RanksPerChannel))
-		row := int(rest / uint64(m.RanksPerChannel))
-		return Location{Channel: channel, Rank: rank, Bank: bank, Row: row}
+		rest, bank := divMod(chPage, m.BanksPerRank, m.bankShift, m.bankPow2)
+		row, rank := divMod(rest, m.RanksPerChannel, m.rankShift, m.rankPow2)
+		return Location{Channel: int(channel), Rank: int(rank), Bank: int(bank), Row: int(row)}
 	}
-	lineInPage := line % uint64(m.PageBytes/m.LineBytes)
-	bank := int(lineInPage % uint64(m.BanksPerRank))
-	rank := int(chPage % uint64(m.RanksPerChannel))
-	row := int(chPage / uint64(m.RanksPerChannel))
-	return Location{Channel: channel, Rank: rank, Bank: bank, Row: row}
+	lineInPage := (addr >> m.lineShift) & m.lpMask
+	_, bank := divMod(lineInPage, m.BanksPerRank, m.bankShift, m.bankPow2)
+	row, rank := divMod(chPage, m.RanksPerChannel, m.rankShift, m.rankPow2)
+	return Location{Channel: int(channel), Rank: int(rank), Bank: int(bank), Row: int(row)}
 }

@@ -1,0 +1,28 @@
+package mem
+
+import (
+	"testing"
+
+	"eccparity/internal/raceflag"
+)
+
+// TestAccessRowSteadyStateAllocs pins the zero-allocation property of the
+// controller's request path, including the bus-slot allocator and the
+// Release retirement sweep.
+func TestAccessRowSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are unreliable under the race detector")
+	}
+	c := NewController(testConfig(2, 2, x8Rank(9)))
+	now := 0.0
+	i := 0
+	n := testing.AllocsPerRun(2000, func() {
+		c.AccessRow(now, i%2, (i/2)%2, i%DefaultBanksPerRank, i%7, i%3 == 0, ClassData)
+		c.Release(now)
+		now += 3.1
+		i++
+	})
+	if n != 0 {
+		t.Fatalf("AccessRow allocates %v per op, want 0", n)
+	}
+}

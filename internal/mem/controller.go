@@ -316,6 +316,18 @@ func (c *Controller) AccessRow(now float64, channel, rank, bank, row int, write 
 	return done
 }
 
+// Release tells the controller that no future Access/AccessRow will arrive
+// with a `now` earlier than the given time, letting every channel's bus
+// allocator retire the slot bookkeeping below that horizon. The engine
+// calls this as its global arrival floor advances; correctness only, no
+// timing effect.
+func (c *Controller) Release(now float64) {
+	floor := int64(now / float64(c.cfg.Timing.TBurst))
+	for _, b := range c.bus {
+		b.retire(floor)
+	}
+}
+
 // negInf marks "never happened" for constraint registers.
 const negInf = -1e18
 

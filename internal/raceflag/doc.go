@@ -1,0 +1,5 @@
+// Package raceflag exposes whether the binary was built with the race
+// detector, so allocation-count regression tests (testing.AllocsPerRun)
+// can skip themselves under `go test -race` — the detector's
+// instrumentation allocates and would make a 0-allocs/op assertion flaky.
+package raceflag

@@ -1,0 +1,60 @@
+package sim
+
+// coreHeap selects the core with the earliest local clock each engine
+// iteration. It is a binary min-heap of core ids ordered by (clock, id) —
+// the id tie-break reproduces exactly the first-strict-minimum choice of
+// the linear scan it replaces, which the determinism guarantee depends
+// on. Only the root's key ever changes (the selected core is the one that
+// advances), so a single sift-down maintains the heap in O(log cores)
+// against the scan's O(cores) per iteration.
+type coreHeap struct {
+	ids   []int32
+	times []float64 // indexed by core id
+}
+
+func newCoreHeap(times []float64) *coreHeap {
+	h := &coreHeap{ids: make([]int32, len(times)), times: times}
+	for i := range h.ids {
+		h.ids[i] = int32(i)
+	}
+	for i := len(h.ids)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+	return h
+}
+
+// min returns the id and clock of the earliest core.
+func (h *coreHeap) min() (int, float64) {
+	id := h.ids[0]
+	return int(id), h.times[id]
+}
+
+// fixMin records the root core's new clock and restores heap order.
+func (h *coreHeap) fixMin(t float64) {
+	h.times[h.ids[0]] = t
+	h.siftDown(0)
+}
+
+func (h *coreHeap) less(a, b int32) bool {
+	ta, tb := h.times[a], h.times[b]
+	return ta < tb || (ta == tb && a < b)
+}
+
+func (h *coreHeap) siftDown(i int) {
+	n := len(h.ids)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h.less(h.ids[r], h.ids[l]) {
+			m = r
+		}
+		if !h.less(h.ids[m], h.ids[i]) {
+			return
+		}
+		h.ids[i], h.ids[m] = h.ids[m], h.ids[i]
+		i = m
+	}
+}

@@ -129,7 +129,9 @@ type engine struct {
 	// inflight maps prefetched line addresses to their fill-completion
 	// time: a demand hit before the fill lands pays the residue ("late
 	// hit"), which keeps streams latency-sensitive.
-	inflight map[uint64]float64
+	inflight *addrTable
+	// vq is the reusable eviction-cascade queue for handleVictim.
+	vq []cache.Evicted
 }
 
 // Run executes one simulation deterministically.
@@ -166,7 +168,8 @@ func newEngine(cfg Config) *engine {
 	e.cores = make([]*cpu.Core, cfg.Cores)
 	e.gens = make([]workload.Source, cfg.Cores)
 	e.lastMiss = make([]uint64, cfg.Cores)
-	e.inflight = make(map[uint64]float64)
+	e.inflight = newAddrTable()
+	e.vq = make([]cache.Evicted, 0, 16)
 	if cfg.Sources != nil && len(cfg.Sources) != cfg.Cores {
 		panic(fmt.Sprintf("sim: %d sources for %d cores", len(cfg.Sources), cfg.Cores))
 	}
@@ -204,24 +207,35 @@ func (e *engine) warmup() {
 	e.warm = false
 }
 
+// releaseStride batches the controller Release calls: the arrival floor
+// must advance at least this many cycles before the engine pays for
+// another retirement sweep of the bus rings.
+const releaseStride = 2048.0
+
 func (e *engine) measure() {
 	budget := e.cfg.MeasureCycles
+	scrubbing := e.cfg.ScrubLineInterval > 0
 	nextScrub := e.cfg.ScrubLineInterval
 	var scrubAddr uint64
+
+	// The per-iteration core selection runs off a min-heap keyed by
+	// (local clock, core id); maxTime tracks the fastest core
+	// incrementally so the scrubber's "due" test needs no scan either.
+	times := make([]float64, len(e.cores))
+	maxTime := 0.0
+	for i, c := range e.cores {
+		times[i] = c.Time()
+		if times[i] > maxTime {
+			maxTime = times[i]
+		}
+	}
+	h := newCoreHeap(times)
+	lastRelease := 0.0
+
 	for {
 		// Scrubber reads proceed at their own fixed rate.
-		if e.cfg.ScrubLineInterval > 0 {
-			for nextScrub < budget {
-				due := false
-				for _, c := range e.cores {
-					if c.Time() >= nextScrub {
-						due = true
-						break
-					}
-				}
-				if !due {
-					break
-				}
+		if scrubbing {
+			for nextScrub < budget && maxTime >= nextScrub {
 				loc := e.mapper.Map(scrubAddr)
 				e.ctrl.AccessRow(nextScrub, loc.Channel, loc.Rank, loc.Bank, loc.Row, false, mem.ClassScrub)
 				scrubAddr += uint64(e.line)
@@ -230,18 +244,31 @@ func (e *engine) measure() {
 		}
 		// Advance the core with the earliest local clock still inside the
 		// window (keeps controller arrivals near time order).
-		sel := -1
-		for i, c := range e.cores {
-			if c.Time() < budget && (sel < 0 || c.Time() < e.cores[sel].Time()) {
-				sel = i
-			}
-		}
-		if sel < 0 {
+		sel, t := h.min()
+		if t >= budget {
 			break
 		}
+		// Every future controller arrival happens at or after the earliest
+		// core's clock (core clocks advance monotonically and the root is
+		// the global minimum) — or at the next scrub tick, whichever is
+		// sooner. Let the controller retire bus bookkeeping below that.
+		floor := t
+		if scrubbing && nextScrub < floor {
+			floor = nextScrub
+		}
+		if floor >= lastRelease+releaseStride {
+			e.ctrl.Release(floor)
+			lastRelease = floor
+		}
 		acc := e.gens[sel].Next()
-		e.cores[sel].AdvanceCompute(acc.InstrGap)
+		c := e.cores[sel]
+		c.AdvanceCompute(acc.InstrGap)
 		e.handleAccess(sel, acc)
+		nt := c.Time()
+		if nt > maxTime {
+			maxTime = nt
+		}
+		h.fixMin(nt)
 	}
 	e.ctrl.Finish(budget)
 }
@@ -250,9 +277,9 @@ func (e *engine) measure() {
 // ECC-maintenance cascade.
 func (e *engine) handleAccess(ci int, acc workload.Access) {
 	c := e.cores[ci]
-	hit, victim := e.llc.Access(acc.Addr, cache.Data, acc.Write)
-	if victim != nil {
-		e.handleVictim(c, *victim)
+	hit, victim, evicted := e.llc.Access(acc.Addr, cache.Data, acc.Write)
+	if evicted {
+		e.handleVictim(c, victim)
 	}
 	e.prefetch(ci, acc.Addr)
 	if hit {
@@ -262,8 +289,7 @@ func (e *engine) handleAccess(ci int, acc workload.Access) {
 		// A hit on a still-in-flight prefetch is a "late hit": the core
 		// waits for the fill like a short miss.
 		line := acc.Addr / uint64(e.line) * uint64(e.line)
-		if ready, ok := e.inflight[line]; ok {
-			delete(e.inflight, line)
+		if ready, ok := e.inflight.take(line); ok {
 			if !acc.Write && ready > c.Time() {
 				at := c.BeginMiss()
 				if ready < at {
@@ -292,9 +318,9 @@ func (e *engine) handleAccess(ci int, acc workload.Access) {
 	// line in parallel (cached in the LLC per the VECC-style optimization).
 	if e.cfg.Scheme.Traffic == TrafficParity && e.isMarked(loc) {
 		eccAddr := core.ECCLineAddr(acc.Addr, e.r, e.line)
-		hitE, vE := e.llc.Access(eccAddr, cache.ECC, false)
-		if vE != nil {
-			e.handleVictim(c, *vE)
+		hitE, vE, evE := e.llc.Access(eccAddr, cache.ECC, false)
+		if evE {
+			e.handleVictim(c, vE)
 		}
 		if !hitE {
 			el := e.mapper.Map(eccAddr)
@@ -322,18 +348,20 @@ func (e *engine) prefetch(ci int, addr uint64) {
 	}
 	la := uint64(e.line)
 	pf := (addr/la + 1) * la
-	if e.llc.Probe(pf, cache.Data) {
+	// Allocate is the probe-then-fill pair in one set scan: a line already
+	// present is left untouched.
+	present, pfV, pfEv := e.llc.Allocate(pf, cache.Data)
+	if present {
 		return
 	}
-	pfHit, pfV := e.llc.Access(pf, cache.Data, false)
-	if pfV != nil {
-		e.handleVictim(e.cores[ci], *pfV)
+	if pfEv {
+		e.handleVictim(e.cores[ci], pfV)
 	}
-	if !pfHit && !e.warm {
+	if !e.warm {
 		pl := e.mapper.Map(pf)
 		done := e.ctrl.AccessRow(e.cores[ci].Time(), pl.Channel, pl.Rank, pl.Bank, pl.Row, false, mem.ClassData)
-		e.inflight[pf] = done
-		if len(e.inflight) > 1<<15 {
+		e.inflight.put(pf, done)
+		if e.inflight.len() > 1<<15 {
 			e.pruneInflight()
 		}
 	}
@@ -348,21 +376,18 @@ func (e *engine) pruneInflight() {
 			oldest = t
 		}
 	}
-	for a, done := range e.inflight {
-		if done <= oldest {
-			delete(e.inflight, a)
-		}
-	}
+	e.inflight.pruneBelow(oldest)
 }
 
 // handleVictim processes an eviction (and any cascade it causes) at the
 // core's current time. Writebacks never stall the core; they contend for
 // banks and buses like all traffic.
 func (e *engine) handleVictim(c *cpu.Core, v cache.Evicted) {
-	queue := []cache.Evicted{v}
-	for len(queue) > 0 {
-		ev := queue[0]
-		queue = queue[1:]
+	// FIFO walk over the engine's reusable queue; maintainECC appends any
+	// cascade victims to the tail.
+	queue := append(e.vq[:0], v)
+	for qi := 0; qi < len(queue); qi++ {
+		ev := queue[qi]
 		if !ev.Dirty {
 			continue
 		}
@@ -394,6 +419,7 @@ func (e *engine) handleVictim(c *cpu.Core, v cache.Evicted) {
 			}
 		}
 	}
+	e.vq = queue[:0]
 }
 
 // maintainECC applies the scheme's ECC-update flow for one dirty data
@@ -412,9 +438,9 @@ func (e *engine) maintainECC(c *cpu.Core, addr uint64, queue []cache.Evicted) []
 			}
 			return queue
 		}
-		hit, v := e.llc.Access(eccAddr, cache.ECC, true)
-		if v != nil {
-			queue = append(queue, *v)
+		hit, v, ev := e.llc.Access(eccAddr, cache.ECC, true)
+		if ev {
+			queue = append(queue, v)
 		}
 		if !hit && !e.warm {
 			// The ECC line holds other lines' bits: fetch before update.
@@ -438,9 +464,9 @@ func (e *engine) maintainECC(c *cpu.Core, addr uint64, queue []cache.Evicted) []
 		if e.isMarked(loc) {
 			// Step D: faulty bank — update the stored correction bits.
 			eccAddr := core.ECCLineAddr(addr, e.r, e.line)
-			hit, v := e.llc.Access(eccAddr, cache.ECC, true)
-			if v != nil {
-				queue = append(queue, *v)
+			hit, v, ev := e.llc.Access(eccAddr, cache.ECC, true)
+			if ev {
+				queue = append(queue, v)
 			}
 			if !hit && !e.warm {
 				el := e.mapper.Map(eccAddr)
@@ -453,9 +479,9 @@ func (e *engine) maintainECC(c *cpu.Core, addr uint64, queue []cache.Evicted) []
 		// memory read (this is what kills the read-old-value access of the
 		// naive Eq. 1 implementation).
 		xorAddr := core.XORCachelineAddr(addr, e.channels)
-		_, v := e.llc.Access(xorAddr, cache.XOR, true)
-		if v != nil {
-			queue = append(queue, *v)
+		_, v, ev := e.llc.Access(xorAddr, cache.XOR, true)
+		if ev {
+			queue = append(queue, v)
 		}
 		return queue
 	}
