@@ -24,6 +24,9 @@
 // NumCPU) and -seed fixes the workload/Monte Carlo seed. Results depend
 // only on the seed, never on the worker count: the same seed emits
 // byte-identical stdout at any -workers value. Progress goes to stderr.
+//
+// The experiments themselves live in internal/sim/report; this command is
+// one of its front ends (cmd/eccsimd serves the same registry over HTTP).
 package main
 
 import (
@@ -31,14 +34,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"sort"
 
-	"eccparity/internal/cpu"
-	"eccparity/internal/ecc"
-	"eccparity/internal/faultmodel"
-	"eccparity/internal/prof"
-	"eccparity/internal/sim"
+	"eccparity/internal/cliflags"
+	"eccparity/internal/sim/report"
 )
 
 func main() {
@@ -46,18 +44,19 @@ func main() {
 	cycles := flag.Float64("cycles", 400000, "measured cycles per simulation")
 	warmup := flag.Int("warmup", 60000, "per-core LLC warmup accesses")
 	trials := flag.Int("trials", 2000, "Monte Carlo trials for EOL studies")
-	seed := flag.Int64("seed", 1, "workload and Monte Carlo seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for simulation grids and Monte Carlo (<=0: NumCPU)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	common := cliflags.Register(flag.CommandLine)
 	flag.BoolVar(&csvOut, "csv", false, "emit comparison figures as CSV rows")
 	flag.Parse()
 
-	if *trials < 1 {
-		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
+	if err := cliflags.CheckTrials(*trials); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -67,8 +66,8 @@ func main() {
 		Cycles:   *cycles,
 		Warmup:   *warmup,
 		Trials:   *trials,
-		Seed:     *seed,
-		Workers:  *workers,
+		Seed:     common.Seed,
+		Workers:  common.Workers,
 		Progress: os.Stderr,
 	})
 	stopProf()
@@ -77,6 +76,9 @@ func main() {
 		os.Exit(2)
 	}
 }
+
+// csvOut switches the comparison figures to machine-readable CSV.
+var csvOut bool
 
 // runParams carries the CLI knobs into the experiment dispatcher; the golden
 // regression test drives the same path at a reduced budget.
@@ -89,260 +91,38 @@ type runParams struct {
 	Progress io.Writer
 }
 
-// runExperiments dispatches one experiment id (or "all") and reports whether
-// the id was known. Stdout depends only on the params, never on scheduling.
+// runExperiments dispatches one experiment id (or "all") through the
+// internal/sim/report registry and reports whether the id was known.
+// Stdout depends only on the params, never on scheduling.
 func runExperiments(exp string, p runParams) bool {
-	opts := []sim.Option{
-		sim.WithCycles(p.Cycles), sim.WithWarmup(p.Warmup),
-		sim.WithSeed(p.Seed), sim.WithWorkers(p.Workers),
-	}
-	if p.Progress != nil {
-		opts = append(opts, sim.WithProgress(p.Progress))
-	}
-	es := &evalSet{opts: opts, cache: map[sim.SystemClass]*sim.Evaluation{}}
-
-	run := map[string]func(){
-		"fig1":       fig1,
-		"table1":     table1,
-		"table2":     table2,
-		"table3":     func() { table3(p.Trials, p.Seed, p.Workers) },
-		"fig9":       func() { fig9(opts) },
-		"fig10":      func() { figEPI(es, sim.QuadEq) },
-		"fig11":      func() { figEPI(es, sim.DualEq) },
-		"fig12":      func() { figDyn(es) },
-		"fig13":      func() { figBg(es) },
-		"fig14":      func() { figPerf(es, sim.QuadEq) },
-		"fig15":      func() { figPerf(es, sim.DualEq) },
-		"fig16":      func() { figAcc(es, sim.QuadEq) },
-		"fig17":      func() { figAcc(es, sim.DualEq) },
-		"counters":   counters,
-		"hpcstall":   hpcStall,
-		"undetected": undetected,
-		"mixedrank":  mixedRank,
-	}
-	if exp == "all" {
-		keys := make([]string, 0, len(run))
-		for k := range run {
-			keys = append(keys, k)
+	r := report.NewRunner(report.Params{
+		Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials,
+		Seed: p.Seed, Workers: p.Workers, CSV: csvOut,
+	}, p.Progress)
+	ids := report.EccsimIDs()
+	if exp != "all" {
+		ids = []string{exp}
+		if !known(exp) {
+			return false
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			run[k]()
+	}
+	for _, id := range ids {
+		rep, err := r.Run(id)
+		if err != nil {
+			return false
 		}
-		return true
+		os.Stdout.WriteString(rep.Text)
 	}
-	fn, ok := run[exp]
-	if !ok {
-		return false
-	}
-	fn()
 	return true
 }
 
-func header(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
-}
-
-// evalSet shares one (scheme × workload) matrix per system class across
-// figures when running -exp all; each runExperiments call gets its own.
-type evalSet struct {
-	opts  []sim.Option
-	cache map[sim.SystemClass]*sim.Evaluation
-}
-
-func (es *evalSet) get(class sim.SystemClass) *sim.Evaluation {
-	if ev, ok := es.cache[class]; ok {
-		return ev
-	}
-	ev := sim.NewEvaluation(class, nil, nil, es.opts...)
-	es.cache[class] = ev
-	return ev
-}
-
-func fig1() {
-	header("Fig. 1 — capacity overhead breakdown (detection vs correction bits)")
-	for _, r := range sim.Fig1CapacityBreakdown() {
-		fmt.Printf("%-38s detection %5.1f%%  correction %5.1f%%  total %5.1f%%\n",
-			r.Scheme, 100*r.Detection, 100*r.Correction, 100*(r.Detection+r.Correction))
-	}
-}
-
-func table1() {
-	header("Table I — processor microarchitecture")
-	p := cpu.DefaultParams()
-	fmt.Printf("Issue width %d | bounded MLP %d | LLC hit %d cycles | 8 cores, 2GHz\n",
-		p.IssueWidth, p.MaxOutstanding, p.LLCHitCycles)
-	fmt.Println("L2 (LLC): 8MB, 16 ways, 64B/128B lines per scheme")
-}
-
-func table2() {
-	header("Table II — evaluated ECC configurations")
-	fmt.Printf("%-32s %-14s %5s %10s %9s %9s\n", "", "Rank", "Line", "Ranks/Chan", "Channels", "I/O pins")
-	for _, key := range []string{"chipkill36", "chipkill18", "lotecc5", "lotecc9", "multiecc", "lotecc5+parity", "raim", "raim+parity"} {
-		sc := sim.SchemeByKey(key)
-		g := sc.Base.Geometry()
-		fmt.Printf("%-32s %-14s %4dB %10d %5d,%3d %5d,%4d\n",
-			sc.Display, g.RankConfig, g.LineSize, g.RanksPerChannel,
-			g.ChannelsDualEq, g.ChannelsQuadEq, g.PinsDualEq, g.PinsQuadEq)
-	}
-}
-
-func table3(trials int, seed int64, workers int) {
-	header("Table III — capacity overheads (EOL = end of life)")
-	for _, r := range sim.Table3Capacity(trials, seed, workers) {
-		if r.EOL > 0 {
-			fmt.Printf("%-40s %5.1f%%, EOL avg: %5.1f%%\n", r.Config, 100*r.Overhead, 100*r.EOL)
-		} else {
-			fmt.Printf("%-40s %5.1f%%\n", r.Config, 100*r.Overhead)
+// known reports whether exp is an eccsim experiment (fig2/fig8/fig18 are
+// registered but belong to cmd/faultmc, which this CLI still redirects to).
+func known(exp string) bool {
+	for _, id := range report.EccsimIDs() {
+		if id == exp {
+			return true
 		}
 	}
-}
-
-func fig9(opts []sim.Option) {
-	header("Fig. 9 — workload bandwidth utilization (dual-channel commercial ECC)")
-	rows := sim.Fig9Bandwidth(opts...)
-	sort.Slice(rows, func(i, j int) bool { return rows[i].Utilization > rows[j].Utilization })
-	for _, r := range rows {
-		bin := "Bin1"
-		if r.Bin2 {
-			bin = "Bin2"
-		}
-		fmt.Printf("%-15s %s  %5.1f%% of peak  (%.1f GB/s)\n", r.Workload, bin, 100*r.Utilization, r.GBs)
-	}
-}
-
-// csvOut switches the comparison figures to machine-readable CSV.
-var csvOut bool
-
-func printComparison(c sim.Comparison, unit string) {
-	if csvOut {
-		fmt.Printf("workload")
-		for _, b := range c.Baselines {
-			fmt.Printf(",vs_%s", b)
-		}
-		fmt.Println()
-		for _, row := range c.Rows {
-			fmt.Printf("%s", row.Workload)
-			for _, b := range c.Baselines {
-				fmt.Printf(",%.3f", row.Value[b])
-			}
-			fmt.Println()
-		}
-		for _, agg := range []struct {
-			label string
-			m     map[string]float64
-		}{{"bin1_mean", c.Bin1Mean}, {"bin2_mean", c.Bin2Mean}, {"mean", c.Mean}} {
-			fmt.Printf("%s", agg.label)
-			for _, b := range c.Baselines {
-				fmt.Printf(",%.3f", agg.m[b])
-			}
-			fmt.Println()
-		}
-		return
-	}
-	fmt.Printf("%-15s", "workload")
-	for _, b := range c.Baselines {
-		fmt.Printf(" %14s", "vs "+b)
-	}
-	fmt.Println()
-	for _, row := range c.Rows {
-		fmt.Printf("%-15s", row.Workload)
-		for _, b := range c.Baselines {
-			fmt.Printf(" %13.1f%s", row.Value[b], unit)
-		}
-		fmt.Println()
-	}
-	for _, label := range []string{"Bin1 mean", "Bin2 mean", "mean"} {
-		fmt.Printf("%-15s", label)
-		for _, b := range c.Baselines {
-			var v float64
-			switch label {
-			case "Bin1 mean":
-				v = c.Bin1Mean[b]
-			case "Bin2 mean":
-				v = c.Bin2Mean[b]
-			default:
-				v = c.Mean[b]
-			}
-			fmt.Printf(" %13.1f%s", v, unit)
-		}
-		fmt.Println()
-	}
-}
-
-func figEPI(es *evalSet, class sim.SystemClass) {
-	header(fmt.Sprintf("Fig. %s — memory EPI reduction, %s systems", figNo(class, "10", "11"), class))
-	ev := es.get(class)
-	fmt.Println("LOT-ECC5 + ECC Parity:")
-	printComparison(ev.Fig10EPI(), "%")
-	fmt.Println("RAIM + ECC Parity:")
-	printComparison(ev.FigRAIMEPI(), "%")
-}
-
-func figDyn(es *evalSet) {
-	header("Fig. 12 — dynamic EPI reduction, quad-equivalent systems")
-	ev := es.get(sim.QuadEq)
-	printComparison(ev.Fig12Dynamic(), "%")
-	fmt.Println("RAIM + ECC Parity:")
-	printComparison(ev.Fig12DynamicRAIM(), "%")
-}
-
-func figBg(es *evalSet) {
-	header("Fig. 13 — background EPI reduction, quad-equivalent systems")
-	ev := es.get(sim.QuadEq)
-	printComparison(ev.Fig13Background(), "%")
-}
-
-func figPerf(es *evalSet, class sim.SystemClass) {
-	header(fmt.Sprintf("Fig. %s — performance normalized to baselines, %s systems", figNo(class, "14", "15"), class))
-	ev := es.get(class)
-	printComparison(ev.Fig14Perf(), "x")
-	fmt.Println("RAIM + ECC Parity:")
-	printComparison(ev.Fig14PerfRAIM(), "x")
-}
-
-func figAcc(es *evalSet, class sim.SystemClass) {
-	header(fmt.Sprintf("Fig. %s — memory accesses per instruction normalized (lower is better), %s systems", figNo(class, "16", "17"), class))
-	ev := es.get(class)
-	printComparison(ev.Fig16Accesses(), "x")
-}
-
-func figNo(class sim.SystemClass, quad, dual string) string {
-	if class == sim.QuadEq {
-		return quad
-	}
-	return dual
-}
-
-func counters() {
-	header("§III-E — error-counter SRAM budget")
-	fmt.Printf("512GB system, 1024 rank-level banks: %dB of on-chip counters (0.5B per pair)\n",
-		faultmodel.CounterSRAMBytes(1024)*2)
-	fmt.Printf("Max pages retired before a pair saturates (threshold 4, 8 channels): %d\n",
-		faultmodel.MaxRetiredPages(4, 8))
-}
-
-func hpcStall() {
-	header("§VI-B — HPC system stall estimate")
-	cfg := faultmodel.DefaultHPCConfig()
-	fmt.Printf("2PB system, 128GB/node, 1GB/s NIC: stalled %.2f%% of the time (paper: 0.35%%)\n",
-		100*cfg.StallFraction())
-}
-
-func mixedRank() {
-	header("§VI-A — mixed narrow/wide ranks (2 wide + 2 narrow per channel, 8 channels)")
-	fmt.Println("hot%   dyn pJ/access   vs all-narrow   capacity vs all-narrow   ECC overhead (parity vs none)")
-	hots := []float64{0, 0.5, 0.8, 0.9, 0.95, 1.0}
-	for i, r := range sim.MixedRankSweep() {
-		fmt.Printf("%4.0f%%  %13.0f   %12.2fx   %21.2fx   %.1f%% vs %.1f%%\n",
-			100*hots[i], r.Blended, r.BlendedVsAllNarrow, r.RelativeCapacity,
-			100*r.OverheadWithParity, 100*r.OverheadWithoutParity)
-	}
-}
-
-func undetected() {
-	header("§VI-D — undetectable error rate, modified LOT-ECC5 encoding")
-	years := faultmodel.UndetectedErrorYears(faultmodel.PaperTopology(8), faultmodel.DefaultRates(), 4)
-	fmt.Printf("One undetected error per %.0f years (paper: ~300,000; target: 1000)\n", years)
-	_ = ecc.NewLOTECC5()
+	return false
 }

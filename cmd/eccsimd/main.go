@@ -1,0 +1,103 @@
+// Command eccsimd is the experiment-serving daemon: a long-running HTTP
+// service that accepts the paper's experiments as JSON requests, executes
+// them on a bounded job queue, and memoizes every result in a
+// content-addressed cache (same normalized config ⇒ same SHA-256 ⇒ same
+// bytes, served without recomputation).
+//
+//	eccsimd -addr :8344 -cache-dir eccsimd-cache
+//
+//	curl -s localhost:8344/v1/experiments \
+//	    -d '{"experiment":"fig8","trials":2000,"seed":1}'   # → job id + result hash
+//	curl -s localhost:8344/v1/jobs/job-1                    # → poll status
+//	curl -s localhost:8344/v1/results/<hash>                # → result document
+//	curl -s localhost:8344/metrics                          # → Prometheus text
+//
+// SIGTERM/SIGINT drains gracefully: the listener stops, queued and running
+// jobs finish (up to -drain-timeout), results land in the cache, then the
+// process exits. See internal/serve for the API, internal/jobqueue and
+// internal/resultcache for the machinery.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"eccparity/internal/cliflags"
+	"eccparity/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines inside each experiment's simulation/Monte Carlo pool")
+	jobWorkers := flag.Int("job-workers", 2, "experiments executing concurrently")
+	queueCap := flag.Int("queue-cap", 16, "bounded submission backlog")
+	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty: in-memory only)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs")
+	progress := flag.Bool("progress", false, "emit per-experiment progress tickers on stderr")
+	flag.Parse()
+
+	for _, f := range []struct {
+		name string
+		n    int
+	}{{"-workers", *workers}, {"-job-workers", *jobWorkers}, {"-queue-cap", *queueCap}} {
+		if err := cliflags.CheckPositive(f.name, f.n); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	opts := serve.Options{
+		Workers:    *workers,
+		JobWorkers: *jobWorkers,
+		QueueCap:   *queueCap,
+		CacheDir:   *cacheDir,
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	s, err := serve.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("eccsimd listening on %s (job workers %d, queue cap %d, cache dir %q)",
+		*addr, *jobWorkers, *queueCap, *cacheDir)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills immediately
+
+	log.Printf("shutdown signal received, draining (timeout %v)", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Drain(shutCtx); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("drain timed out: remaining jobs canceled")
+		} else {
+			log.Printf("drain: %v", err)
+		}
+		os.Exit(1)
+	}
+	log.Printf("drained cleanly")
+}

@@ -10,100 +10,63 @@
 // fixes the campaign seed. Results depend only on the seed, never on the
 // worker count: the same seed emits byte-identical stdout at any -workers
 // value. Progress goes to stderr.
+//
+// The experiments themselves live in internal/sim/report; this command is
+// one of its front ends (cmd/eccsimd serves the same registry over HTTP).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"time"
 
-	"eccparity/internal/faultmodel"
-	"eccparity/internal/prof"
-	"eccparity/internal/sim"
+	"eccparity/internal/cliflags"
+	"eccparity/internal/sim/report"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: fig2, fig8, fig18, all")
 	trials := flag.Int("trials", 4000, "Monte Carlo trials")
-	seed := flag.Int64("seed", 1, "Monte Carlo seed")
-	workers := flag.Int("workers", runtime.NumCPU(), "worker goroutines for Monte Carlo trials (<=0: NumCPU)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	common := cliflags.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *trials < 1 {
-		fmt.Fprintf(os.Stderr, "-trials must be >= 1 (got %d)\n", *trials)
+	if err := cliflags.CheckTrials(*trials); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stopProf, err := common.StartProfiling()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	defer stopProf()
 
-	switch *exp {
-	case "fig2":
-		fig2(*workers)
-	case "fig8":
-		fig8(*trials, *seed, *workers)
-	case "fig18":
-		fig18()
-	case "all":
-		fig2(*workers)
-		fig8(*trials, *seed, *workers)
-		fig18()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
-	}
-}
-
-// stage emits a progress line on stderr and returns a func that stamps the
-// stage's wall-clock time when the work is done.
-func stage(format string, args ...any) func() {
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
-	start := time.Now()
-	return func() { fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond)) }
-}
-
-func fig2(workers int) {
-	fmt.Println("=== Fig. 2 — mean time between faults in different channels ===")
-	fmt.Println("(8 channels × 4 ranks × 9 chips, exponential failure distribution)")
-	for _, r := range sim.Fig2ChannelFaultGaps() {
-		fmt.Printf("%6.0f FIT/chip: %8.0f days\n", r.FITPerChip, r.MeanDays)
-	}
-	// Cross-check one point against Monte Carlo.
-	done := stage("fig2: Monte Carlo cross-check, 40 trials, workers=%d", workers)
-	topo := faultmodel.PaperTopology(8)
-	mc := faultmodel.MeasureChannelFaultGaps(44, topo, 40, 1, workers)
-	done()
-	fmt.Printf("Monte Carlo cross-check at 44 FIT: %.0f days (analytic %.0f)\n",
-		mc/24, faultmodel.MeanTimeBetweenChannelFaults(44, topo)/24)
-}
-
-func fig8(trials int, seed int64, workers int) {
-	fmt.Println("\n=== Fig. 8 — fraction of memory with stored correction bits after 7 years ===")
-	done := stage("fig8: %d trials × 4 channel counts, seed=%d, workers=%d", trials, seed, workers)
-	rows := sim.Fig8EOLFractions(trials, seed, workers)
-	done()
-	for _, r := range rows {
-		fmt.Printf("%2d channels: mean %5.2f%%   99.9th pct %5.2f%%\n",
-			r.Channels, 100*r.Mean, 100*r.P999)
-	}
-}
-
-func fig18() {
-	fmt.Println("\n=== Fig. 18 — P(faults in >1 channel within one detection window, 7-year life) ===")
-	last := 0.0
-	for _, r := range sim.Fig18ScrubWindows() {
-		if r.FITPerChip != last {
-			fmt.Printf("-- %.0f FIT/chip --\n", r.FITPerChip)
-			last = r.FITPerChip
+	ids := report.FaultmcIDs()
+	if *exp != "all" {
+		ids = nil
+		for _, id := range report.FaultmcIDs() {
+			if id == *exp {
+				ids = []string{id}
+			}
 		}
-		fmt.Printf("window %6.0f h: %.6f\n", r.WindowHours, r.Probability)
+		if ids == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
 	}
-	fmt.Println("(paper reference point: 8h window at 100 FIT → 0.0002)")
+	r := report.NewRunner(report.Params{
+		Trials: *trials, Seed: common.Seed, Workers: common.Workers,
+	}, os.Stderr)
+	for _, id := range ids {
+		rep, err := r.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		os.Stdout.WriteString(rep.Text)
+	}
 }

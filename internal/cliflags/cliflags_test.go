@@ -1,0 +1,55 @@
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+	"testing"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", c.Seed)
+	}
+	if c.Workers != runtime.NumCPU() {
+		t.Errorf("default workers = %d, want NumCPU (%d)", c.Workers, runtime.NumCPU())
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("defaults must validate: %v", err)
+	}
+}
+
+func TestRegisterParsesValues(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := Register(fs)
+	if err := fs.Parse([]string{"-seed", "42", "-workers", "3", "-cpuprofile", "cpu.pprof"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Seed != 42 || c.Workers != 3 || c.CPUProfile != "cpu.pprof" {
+		t.Errorf("parsed %+v, want seed=42 workers=3 cpuprofile=cpu.pprof", c)
+	}
+}
+
+func TestCheckWorkersRejectsNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		if err := CheckWorkers(n); err == nil {
+			t.Errorf("CheckWorkers(%d) = nil, want error", n)
+		}
+	}
+	if err := CheckWorkers(1); err != nil {
+		t.Errorf("CheckWorkers(1) = %v, want nil", err)
+	}
+}
+
+func TestCheckTrialsRejectsNonPositive(t *testing.T) {
+	if err := CheckTrials(0); err == nil {
+		t.Error("CheckTrials(0) = nil, want error")
+	}
+	if err := CheckTrials(1); err != nil {
+		t.Errorf("CheckTrials(1) = %v, want nil", err)
+	}
+}

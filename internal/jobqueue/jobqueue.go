@@ -1,0 +1,293 @@
+// Package jobqueue is the bounded FIFO work queue behind the eccsimd
+// daemon: submitted tasks run on a fixed pool of worker goroutines (the
+// pool itself is one parallel.ForEach fan-out, reusing the repo's standard
+// pool plumbing), every job carries an externally visible status, and the
+// whole queue drains gracefully on shutdown — no accepted job is ever lost
+// or reported twice.
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"eccparity/internal/parallel"
+)
+
+// Submission errors.
+var (
+	// ErrFull is returned when the queue's bounded buffer is at capacity.
+	ErrFull = errors.New("jobqueue: queue full")
+	// ErrClosed is returned once Close or Drain has been called.
+	ErrClosed = errors.New("jobqueue: closed")
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// The job lifecycle: Queued → Running → one terminal state. A queued job
+// canceled before a worker picks it up goes straight to StatusCanceled.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether s is a final state.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Task is one unit of work. The context is canceled when the job is
+// canceled or the queue force-drains; tasks that can stop early should
+// honor it.
+type Task func(ctx context.Context) (any, error)
+
+// Snapshot is a consistent copy of a job's externally visible state.
+type Snapshot struct {
+	ID       string    `json:"id"`
+	Status   Status    `json:"status"`
+	Error    string    `json:"error,omitempty"`
+	Created  time.Time `json:"created"`
+	Started  time.Time `json:"started"`
+	Finished time.Time `json:"finished"`
+	// Result holds the task's return value once Status == StatusDone.
+	Result any `json:"-"`
+}
+
+// job is the internal record; all fields past task are guarded by Queue.mu.
+type job struct {
+	id     string
+	task   Task
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	status   Status
+	err      string
+	result   any
+	created  time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Counts aggregates terminal outcomes for metrics.
+type Counts struct {
+	Submitted, Done, Failed, Canceled uint64
+}
+
+// Queue is a bounded FIFO job queue with a fixed worker pool. All methods
+// are safe for concurrent use.
+type Queue struct {
+	mu       sync.Mutex
+	jobs     map[string]*job
+	closed   bool
+	nextID   uint64
+	inflight int
+	counts   Counts
+
+	ch         chan *job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	poolDone   chan struct{}
+}
+
+// New starts a queue holding at most capacity queued jobs, executed by
+// exactly workers goroutines. Both are clamped to ≥1.
+func New(capacity, workers int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{
+		jobs:     map[string]*job{},
+		ch:       make(chan *job, capacity),
+		poolDone: make(chan struct{}),
+	}
+	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
+	go func() {
+		defer close(q.poolDone)
+		// The pool is a parallel.ForEach with one long-lived loop per
+		// worker slot. Task panics are captured per job inside run, so the
+		// fan-out itself never errors and a bad job cannot kill the pool.
+		_ = parallel.ForEach(context.Background(), workers, workers, func(context.Context, int) error {
+			for j := range q.ch {
+				q.run(j)
+			}
+			return nil
+		})
+	}()
+	return q
+}
+
+// Submit enqueues a task FIFO and returns its job id. It never blocks:
+// a full buffer returns ErrFull, a closed queue ErrClosed.
+func (q *Queue) Submit(task Task) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", ErrClosed
+	}
+	q.nextID++
+	id := fmt.Sprintf("job-%d", q.nextID)
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	j := &job{id: id, task: task, ctx: ctx, cancel: cancel, status: StatusQueued, created: time.Now()}
+	// The send happens under the lock so it cannot race Close's close(ch).
+	select {
+	case q.ch <- j:
+		q.jobs[id] = j
+		q.counts.Submitted++
+		q.mu.Unlock()
+		return id, nil
+	default:
+		q.mu.Unlock()
+		cancel()
+		return "", ErrFull
+	}
+}
+
+// run executes one job on a pool worker, moving it through exactly one
+// terminal transition.
+func (q *Queue) run(j *job) {
+	q.mu.Lock()
+	if j.status != StatusQueued {
+		// Canceled while queued; already terminal.
+		q.mu.Unlock()
+		return
+	}
+	if j.ctx.Err() != nil {
+		q.finishLocked(j, StatusCanceled, nil, j.ctx.Err().Error())
+		q.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	q.inflight++
+	q.mu.Unlock()
+
+	res, err := runTask(j)
+
+	q.mu.Lock()
+	q.inflight--
+	switch {
+	case err == nil:
+		q.finishLocked(j, StatusDone, res, "")
+	case errors.Is(err, context.Canceled):
+		q.finishLocked(j, StatusCanceled, nil, err.Error())
+	default:
+		q.finishLocked(j, StatusFailed, nil, err.Error())
+	}
+	q.mu.Unlock()
+	j.cancel()
+}
+
+// finishLocked records a job's single terminal transition (mu held).
+func (q *Queue) finishLocked(j *job, s Status, res any, errMsg string) {
+	j.status = s
+	j.result = res
+	j.err = errMsg
+	j.finished = time.Now()
+	switch s {
+	case StatusDone:
+		q.counts.Done++
+	case StatusFailed:
+		q.counts.Failed++
+	case StatusCanceled:
+		q.counts.Canceled++
+	}
+}
+
+// runTask invokes the task, converting a panic into an error so one bad
+// job cannot take down the daemon's worker pool.
+func runTask(j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobqueue: job %s panicked: %v\n%s", j.id, r, debug.Stack())
+		}
+	}()
+	return j.task(j.ctx)
+}
+
+// Get returns a snapshot of the job's current state.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return Snapshot{
+		ID: j.id, Status: j.status, Error: j.err,
+		Created: j.created, Started: j.started, Finished: j.finished,
+		Result: j.result,
+	}, true
+}
+
+// Cancel cancels a job: a queued job becomes terminal immediately, a
+// running job has its context canceled (tasks that honor it will stop).
+// It reports whether the job exists and was not already terminal.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok || j.status.Terminal() {
+		q.mu.Unlock()
+		return false
+	}
+	if j.status == StatusQueued {
+		q.finishLocked(j, StatusCanceled, nil, "canceled before start")
+	}
+	q.mu.Unlock()
+	j.cancel()
+	return true
+}
+
+// Depth returns the number of jobs waiting in the buffer.
+func (q *Queue) Depth() int { return len(q.ch) }
+
+// InFlight returns the number of jobs currently executing.
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
+
+// Stats returns the cumulative submission/outcome counters.
+func (q *Queue) Stats() Counts {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.counts
+}
+
+// Close stops accepting submissions. Already-queued and running jobs keep
+// going; use Drain to wait for them.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// Drain closes the queue and blocks until every accepted job has reached a
+// terminal state. If ctx expires first, all remaining job contexts are
+// canceled (queued jobs become StatusCanceled without running; running
+// tasks see cancellation) and Drain still waits for the workers to finish
+// before returning ctx's error.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.Close()
+	select {
+	case <-q.poolDone:
+		return nil
+	case <-ctx.Done():
+		q.baseCancel()
+		<-q.poolDone
+		return ctx.Err()
+	}
+}

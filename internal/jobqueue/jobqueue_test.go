@@ -1,0 +1,278 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// waitTerminal polls until the job reaches a terminal state.
+func waitTerminal(t *testing.T, q *Queue, id string) Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		s, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if s.Status.Terminal() {
+			return s
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return Snapshot{}
+}
+
+func TestSubmitRunGet(t *testing.T) {
+	q := New(8, 2)
+	defer q.Drain(context.Background())
+	id, err := q.Submit(func(context.Context) (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusDone || s.Result != 42 {
+		t.Fatalf("snapshot %+v, want done/42", s)
+	}
+	if _, ok := q.Get("job-999"); ok {
+		t.Error("Get of unknown id succeeded")
+	}
+}
+
+func TestFailedJobCarriesError(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	id, _ := q.Submit(func(context.Context) (any, error) { return nil, errors.New("boom") })
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusFailed || s.Error != "boom" {
+		t.Fatalf("snapshot %+v, want failed/boom", s)
+	}
+}
+
+func TestPanicBecomesFailure(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	id, _ := q.Submit(func(context.Context) (any, error) { panic("kaboom") })
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusFailed {
+		t.Fatalf("status %s, want failed", s.Status)
+	}
+	// The pool must survive a panicking job.
+	id2, err := q.Submit(func(context.Context) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := waitTerminal(t, q, id2); s.Status != StatusDone {
+		t.Fatalf("post-panic job status %s, want done", s.Status)
+	}
+}
+
+func TestBoundedQueueRejectsWhenFull(t *testing.T) {
+	q := New(1, 1)
+	gate := make(chan struct{})
+	blocker := func(context.Context) (any, error) { <-gate; return nil, nil }
+
+	first, err := q.Submit(blocker) // picked up by the single worker
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker holds the first job so the buffer is empty.
+	for i := 0; ; i++ {
+		if s, _ := q.Get(first); s.Status == StatusRunning {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := q.Submit(blocker); err != nil { // fills the buffer
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(blocker); !errors.Is(err, ErrFull) {
+		t.Fatalf("third submit: err = %v, want ErrFull", err)
+	}
+	close(gate)
+	q.Drain(context.Background())
+}
+
+func TestSubmitAfterCloseReturnsErrClosed(t *testing.T) {
+	q := New(4, 1)
+	q.Close()
+	if _, err := q.Submit(func(context.Context) (any, error) { return nil, nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	q.Drain(context.Background())
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	q := New(4, 1)
+	gate := make(chan struct{})
+	q.Submit(func(context.Context) (any, error) { <-gate; return nil, nil })
+	var ran atomic.Bool
+	id, _ := q.Submit(func(context.Context) (any, error) { ran.Store(true); return nil, nil })
+	if !q.Cancel(id) {
+		t.Fatal("Cancel returned false for a queued job")
+	}
+	close(gate)
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusCanceled {
+		t.Fatalf("status %s, want canceled", s.Status)
+	}
+	q.Drain(context.Background())
+	if ran.Load() {
+		t.Error("canceled queued job still executed")
+	}
+	if q.Cancel(id) {
+		t.Error("Cancel of a terminal job returned true")
+	}
+}
+
+// TestDrainUnderLoad is the shutdown-drain race test: many concurrent
+// submitters racing a graceful Drain must leave every accepted job in
+// exactly one terminal state with its result intact — nothing lost, nothing
+// double-reported. Run under -race this also exercises the status
+// transitions against concurrent Get polling.
+func TestDrainUnderLoad(t *testing.T) {
+	q := New(64, 4)
+	var executed atomic.Int64
+	runs := map[string]*atomic.Int64{} // per-job execution count
+	var mu sync.Mutex
+
+	var accepted []string
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				n := &atomic.Int64{}
+				id, err := q.Submit(func(context.Context) (any, error) {
+					n.Add(1)
+					executed.Add(1)
+					time.Sleep(time.Duration(i%3) * time.Millisecond)
+					return fmt.Sprintf("g%d-i%d", g, i), nil
+				})
+				if err != nil {
+					continue // full/closed: rejected at the door, never tracked
+				}
+				mu.Lock()
+				runs[id] = n
+				accepted = append(accepted, id)
+				mu.Unlock()
+			}
+		}(g)
+	}
+
+	// Concurrent status polling while the drain races the submitters.
+	stopPoll := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stopPoll:
+				return
+			default:
+				mu.Lock()
+				for _, id := range accepted {
+					q.Get(id)
+				}
+				mu.Unlock()
+				q.Depth()
+				q.InFlight()
+			}
+		}
+	}()
+
+	time.Sleep(5 * time.Millisecond)
+	if err := q.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	close(stopPoll)
+
+	mu.Lock()
+	defer mu.Unlock()
+	var done int64
+	for _, id := range accepted {
+		s, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("accepted job %s lost", id)
+		}
+		if !s.Status.Terminal() {
+			t.Fatalf("job %s not terminal after Drain: %s", id, s.Status)
+		}
+		if s.Status == StatusDone {
+			done++
+			if s.Result == nil {
+				t.Fatalf("done job %s has nil result", id)
+			}
+		}
+		if n := runs[id].Load(); n > 1 {
+			t.Fatalf("job %s executed %d times", id, n)
+		}
+	}
+	if executed.Load() != done {
+		t.Errorf("executed %d tasks but %d reported done", executed.Load(), done)
+	}
+	c := q.Stats()
+	if got := c.Done + c.Failed + c.Canceled; got != c.Submitted {
+		t.Errorf("terminal outcomes %d != submitted %d", got, c.Submitted)
+	}
+	if int(c.Submitted) != len(accepted) {
+		t.Errorf("Stats.Submitted = %d, accepted %d", c.Submitted, len(accepted))
+	}
+}
+
+// TestForcedDrainCancelsQueuedJobs: when the drain context expires, queued
+// jobs are canceled without running and running jobs' contexts fire.
+func TestForcedDrainCancelsQueuedJobs(t *testing.T) {
+	q := New(16, 1)
+	release := make(chan struct{})
+	var canceledSeen atomic.Bool
+	first, _ := q.Submit(func(ctx context.Context) (any, error) {
+		<-release
+		if ctx.Err() != nil {
+			canceledSeen.Store(true)
+			return nil, ctx.Err()
+		}
+		return nil, nil
+	})
+	var queued []string
+	for i := 0; i < 5; i++ {
+		id, err := q.Submit(func(context.Context) (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, id)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	drained := make(chan error, 1)
+	go func() { drained <- q.Drain(ctx) }()
+	// Let the drain deadline expire while the first job blocks, then
+	// release it so the pool can exit.
+	time.Sleep(30 * time.Millisecond)
+	close(release)
+	if err := <-drained; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain err = %v, want deadline exceeded", err)
+	}
+
+	if s, _ := q.Get(first); s.Status != StatusCanceled {
+		t.Errorf("running job status %s, want canceled (ctx fired mid-run)", s.Status)
+	}
+	if !canceledSeen.Load() {
+		t.Error("running job never observed its context cancellation")
+	}
+	for _, id := range queued {
+		s, _ := q.Get(id)
+		if s.Status != StatusCanceled {
+			t.Errorf("queued job %s status %s, want canceled", id, s.Status)
+		}
+	}
+}

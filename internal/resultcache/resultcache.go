@@ -1,0 +1,228 @@
+// Package resultcache is a content-addressed store for experiment results.
+// Because every experiment in this repo is deterministic in its config
+// (seed included, worker count excluded — see internal/sim/report), the
+// canonical SHA-256 of the config fully identifies the result bytes: the
+// cache never needs invalidation, a hit is byte-identical to the original
+// run by construction, and concurrent identical requests can share one
+// execution (singleflight).
+//
+// Layout: an in-memory map in front of an optional on-disk directory of
+// <hash>.json files written atomically, so a daemon restart keeps its
+// corpus.
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"sync/atomic"
+)
+
+// Key returns the canonical content address of a config value: the SHA-256
+// hex of its encoding/json serialization. Struct fields marshal in
+// declaration order and map keys sort, so the encoding — and therefore the
+// address — is deterministic. Callers must hash a fully normalized config
+// (defaults filled in) so that equivalent requests collapse to one key.
+func Key(config any) (string, error) {
+	b, err := json.Marshal(config)
+	if err != nil {
+		return "", fmt.Errorf("resultcache: marshal config: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// validKey guards the on-disk path: keys are exactly 64 hex chars.
+var validKey = regexp.MustCompile(`^[0-9a-f]{64}$`)
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits: served from memory or disk without computing.
+	Hits uint64
+	// Misses: the value had to be computed.
+	Misses uint64
+	// Coalesced: callers that waited on another caller's in-flight
+	// computation of the same key instead of recomputing (singleflight).
+	Coalesced uint64
+	// Entries currently held in memory.
+	Entries int
+}
+
+// flight is one in-progress computation other callers can wait on. val and
+// err are written before done is closed, which orders them for waiters.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory only
+
+	mu       sync.Mutex
+	mem      map[string][]byte
+	inflight map[string]*flight
+
+	hits, misses, coalesced atomic.Uint64
+}
+
+// New creates a cache. A nonempty dir enables the on-disk layer (created
+// if missing); dir == "" keeps results in memory only.
+func New(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: map[string][]byte{}, inflight: map[string]*flight{}}, nil
+}
+
+// Get returns the cached bytes for key, consulting memory then disk, and
+// counts a hit when found. Missing keys are not counted as misses (only a
+// computation is): use GetOrCompute for the read-through path.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if v, ok := c.lookup(key); ok {
+		c.hits.Add(1)
+		return v, true
+	}
+	return nil, false
+}
+
+// Peek is Get without touching the hit counter — for serving /v1/results
+// fetches, which would otherwise inflate the hit ratio.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	return c.lookup(key)
+}
+
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		return clone(v), true
+	}
+	c.mu.Unlock()
+	if c.dir == "" || !validKey.MatchString(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.mem[key] = b
+	c.mu.Unlock()
+	return clone(b), true
+}
+
+// GetOrCompute returns the bytes for key, running compute exactly once per
+// key no matter how many callers arrive concurrently: the first caller
+// computes, the rest wait and share its result (or its error). hit reports
+// whether this caller's bytes were served without running compute itself.
+func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+	c.mu.Lock()
+	if v, ok := c.mem[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return clone(v), true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		c.coalesced.Add(1)
+		return clone(f.val), true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	// Disk check outside the lock: a restart's corpus counts as a hit.
+	if c.dir != "" && validKey.MatchString(key) {
+		if b, err := os.ReadFile(c.path(key)); err == nil {
+			c.settle(key, f, b, nil)
+			c.hits.Add(1)
+			return clone(b), true, nil
+		}
+	}
+
+	c.misses.Add(1)
+	v, cerr := compute()
+	if cerr == nil {
+		c.persist(key, v)
+	}
+	c.settle(key, f, v, cerr)
+	if cerr != nil {
+		return nil, false, cerr
+	}
+	return clone(v), false, nil
+}
+
+// settle publishes a flight's outcome: successful values land in memory,
+// waiters are released, and the key is open for retry on error.
+func (c *Cache) settle(key string, f *flight, v []byte, err error) {
+	f.val, f.err = v, err
+	c.mu.Lock()
+	if err == nil {
+		c.mem[key] = clone(v)
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	close(f.done)
+}
+
+// persist writes the value to disk atomically (tmp + rename) so a crashed
+// write can never surface as a truncated result. Best-effort: the in-memory
+// layer still serves the value if the disk write fails.
+func (c *Cache) persist(key string, v []byte) {
+	if c.dir == "" || !validKey.MatchString(key) {
+		return
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(v); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, c.path(key)); err != nil {
+		os.Remove(name)
+	}
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	entries := len(c.mem)
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   entries,
+	}
+}
+
+func clone(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

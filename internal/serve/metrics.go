@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"eccparity/internal/stats"
+)
+
+// metrics aggregates the daemon's observability state. Queue depth and
+// cache counters are read live from their owners at scrape time; only the
+// per-experiment latency histograms live here (internal/stats.Histogram is
+// not safe for concurrent use, so a mutex guards them).
+type metrics struct {
+	mu      sync.Mutex
+	latency map[string]*stats.Histogram // experiment id → compute latency, ms
+}
+
+func newMetrics() *metrics {
+	return &metrics{latency: map[string]*stats.Histogram{}}
+}
+
+// observe records one experiment computation's latency in milliseconds.
+func (m *metrics) observe(experiment string, ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.latency[experiment]
+	if !ok {
+		h = &stats.Histogram{}
+		m.latency[experiment] = h
+	}
+	h.Add(ms)
+}
+
+// handleMetrics renders the Prometheus text exposition format. Everything
+// the acceptance criteria name is here: queue depth, jobs in flight, cache
+// hit/miss/coalesced counters (hit ratio is hits+coalesced over lookups),
+// and per-experiment latency histograms on the simulator's power-of-two
+// buckets.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("eccsimd_queue_depth", "Jobs waiting in the bounded submission queue.", s.queue.Depth())
+	gauge("eccsimd_jobs_inflight", "Experiment jobs currently executing.", s.queue.InFlight())
+
+	qc := s.queue.Stats()
+	counter("eccsimd_jobs_submitted_total", "Jobs accepted into the queue.", qc.Submitted)
+	fmt.Fprintf(&b, "# HELP eccsimd_jobs_total Jobs by terminal status.\n# TYPE eccsimd_jobs_total counter\n")
+	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"done\"} %d\n", qc.Done)
+	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"failed\"} %d\n", qc.Failed)
+	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"canceled\"} %d\n", qc.Canceled)
+
+	cs := s.cache.Stats()
+	counter("eccsimd_cache_hits_total", "Requests served from the result cache (memory or disk).", cs.Hits)
+	counter("eccsimd_cache_misses_total", "Requests that had to compute their result.", cs.Misses)
+	counter("eccsimd_cache_coalesced_total", "Requests that shared another request's in-flight computation.", cs.Coalesced)
+	gauge("eccsimd_cache_entries", "Results held in memory.", cs.Entries)
+	ratio := 0.0
+	if total := cs.Hits + cs.Coalesced + cs.Misses; total > 0 {
+		ratio = float64(cs.Hits+cs.Coalesced) / float64(total)
+	}
+	gauge("eccsimd_cache_hit_ratio", "Fraction of lookups served without recomputation.", fmt.Sprintf("%.6f", ratio))
+
+	b.WriteString("# HELP eccsimd_experiment_latency_ms Experiment computation latency (cache misses only).\n")
+	b.WriteString("# TYPE eccsimd_experiment_latency_ms histogram\n")
+	s.metrics.mu.Lock()
+	ids := make([]string, 0, len(s.metrics.latency))
+	for id := range s.metrics.latency {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		writeHistogram(&b, id, s.metrics.latency[id])
+	}
+	s.metrics.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(b.String()))
+}
+
+// writeHistogram converts one stats.Histogram to Prometheus histogram
+// lines. Bucket 0 holds [0,1) and bucket i holds [2^(i-1), 2^i), so the
+// cumulative upper edges are le="1","2","4",… up to the last occupied
+// bucket, then le="+Inf".
+func writeHistogram(b *strings.Builder, experiment string, h *stats.Histogram) {
+	top := 0
+	for i, c := range h.Buckets {
+		if c > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	edge := 1.0
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		fmt.Fprintf(b, "eccsimd_experiment_latency_ms_bucket{experiment=%q,le=%q} %d\n",
+			experiment, trimFloat(edge), cum)
+		edge *= 2
+	}
+	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_bucket{experiment=%q,le=\"+Inf\"} %d\n", experiment, h.N)
+	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_sum{experiment=%q} %g\n", experiment, h.Sum)
+	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_count{experiment=%q} %d\n", experiment, h.N)
+}
+
+// trimFloat renders bucket edges as integers ("1", "2", "4096").
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%.0f", v)
+}

@@ -1,0 +1,298 @@
+// Package serve is the HTTP layer of the eccsimd daemon: it turns every
+// experiment of internal/sim/report into a submit/poll/fetch API backed by
+// the bounded job queue (internal/jobqueue) and the content-addressed
+// result cache (internal/resultcache).
+//
+// The API surface:
+//
+//	POST /v1/experiments        submit a config; 202 + job id (200 on cache hit)
+//	GET  /v1/experiments        list known experiment ids
+//	GET  /v1/jobs/{id}          poll a job's status
+//	GET  /v1/results/{hash}     fetch a result document by content address
+//	GET  /healthz               liveness
+//	GET  /metrics               Prometheus-text counters and histograms
+//	GET  /debug/vars            expvar (Go runtime memstats etc.)
+//
+// Determinism is the API contract: a request is identified by the SHA-256
+// of its normalized config (seed included, worker count excluded), and the
+// same hash always maps to byte-identical result bytes — the second
+// identical submission is served from cache without recomputation.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"eccparity/internal/jobqueue"
+	"eccparity/internal/resultcache"
+	"eccparity/internal/sim/report"
+)
+
+// Guardrails against absurd budgets taking a worker hostage. The paper's
+// full budget (400k cycles, 60k warmup, 2–4k trials) sits far below all of
+// them.
+const (
+	MaxCycles = 100_000_000
+	MaxWarmup = 10_000_000
+	MaxTrials = 1_000_000
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds each experiment's internal simulation/Monte Carlo
+	// pool (≤0 = NumCPU). Excluded from result identity.
+	Workers int
+	// JobWorkers is the number of experiments executing concurrently
+	// (default 2 — each job already fans out over Workers goroutines).
+	JobWorkers int
+	// QueueCap bounds the submission backlog (default 16).
+	QueueCap int
+	// CacheDir enables the on-disk result layer ("" = memory only).
+	CacheDir string
+	// Progress receives grid/campaign progress tickers (nil = silent).
+	Progress io.Writer
+}
+
+// Server wires the queue, cache and metrics behind one http.Handler.
+type Server struct {
+	opts    Options
+	queue   *jobqueue.Queue
+	cache   *resultcache.Cache
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool.
+func New(o Options) (*Server, error) {
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 16
+	}
+	cache, err := resultcache.New(o.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		opts:    o,
+		queue:   jobqueue.New(o.QueueCap, o.JobWorkers),
+		cache:   cache,
+		metrics: newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops accepting jobs and waits for the backlog to finish (see
+// jobqueue.Queue.Drain). Call http.Server.Shutdown first so no new
+// submissions race the close.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.queue.Drain(ctx)
+}
+
+// ExperimentRequest is the POST /v1/experiments body. Zero-valued knobs
+// normalize to the full-fidelity defaults of cmd/eccsim (a zero seed means
+// seed 1), so partial requests are canonicalized before hashing.
+type ExperimentRequest struct {
+	Experiment string  `json:"experiment"`
+	Cycles     float64 `json:"cycles"`
+	Warmup     int     `json:"warmup"`
+	Trials     int     `json:"trials"`
+	Seed       int64   `json:"seed"`
+	CSV        bool    `json:"csv"`
+}
+
+// canonicalConfig is exactly what gets hashed into the result address.
+// report.Params omits Workers from its JSON encoding, keeping the identity
+// worker-count-free.
+type canonicalConfig struct {
+	Experiment string        `json:"experiment"`
+	Params     report.Params `json:"params"`
+}
+
+// SubmitResponse answers POST /v1/experiments.
+type SubmitResponse struct {
+	JobID      string `json:"job_id,omitempty"`
+	Status     string `json:"status"`
+	ResultHash string `json:"result_hash"`
+	Cached     bool   `json:"cached"`
+}
+
+// JobResponse answers GET /v1/jobs/{id}.
+type JobResponse struct {
+	ID         string    `json:"id"`
+	Status     string    `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	ResultHash string    `json:"result_hash,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+}
+
+// ResultDoc is the cached result document served by /v1/results/{hash}.
+type ResultDoc struct {
+	Hash       string        `json:"hash"`
+	Experiment string        `json:"experiment"`
+	Params     report.Params `json:"params"`
+	Report     report.Report `json:"report"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	if !report.Known(req.Experiment) {
+		httpError(w, http.StatusBadRequest, "unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment)
+		return
+	}
+	if req.Cycles < 0 || req.Warmup < 0 || req.Trials < 0 {
+		httpError(w, http.StatusBadRequest, "cycles, warmup and trials must be non-negative (zero selects the default)")
+		return
+	}
+	if req.Cycles > MaxCycles || req.Warmup > MaxWarmup || req.Trials > MaxTrials {
+		httpError(w, http.StatusBadRequest, "budget too large (max cycles %d, warmup %d, trials %d)", MaxCycles, MaxWarmup, MaxTrials)
+		return
+	}
+
+	p := report.Params{
+		Cycles: req.Cycles, Warmup: req.Warmup, Trials: req.Trials,
+		Seed: req.Seed, CSV: req.CSV,
+	}.Normalized()
+	cc := canonicalConfig{Experiment: req.Experiment, Params: p}
+	key, err := resultcache.Key(cc)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "hashing config: %v", err)
+		return
+	}
+
+	// Fast path: already computed — no job needed.
+	if _, ok := s.cache.Get(key); ok {
+		writeJSON(w, http.StatusOK, SubmitResponse{Status: string(jobqueue.StatusDone), ResultHash: key, Cached: true})
+		return
+	}
+
+	exp := req.Experiment
+	id, err := s.queue.Submit(func(context.Context) (any, error) {
+		start := time.Now()
+		_, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
+			return s.compute(key, exp, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			s.metrics.observe(exp, float64(time.Since(start).Nanoseconds())/1e6)
+		}
+		return key, nil
+	})
+	switch {
+	case errors.Is(err, jobqueue.ErrFull):
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		return
+	case errors.Is(err, jobqueue.ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: id, Status: string(jobqueue.StatusQueued), ResultHash: key})
+}
+
+// compute runs one experiment and renders its canonical result document.
+// The bytes depend only on (experiment, params-identity): report.Runner
+// guarantees worker-count invariance, json.MarshalIndent is deterministic.
+func (s *Server) compute(key, experiment string, p report.Params) ([]byte, error) {
+	p.Workers = s.opts.Workers
+	rep, err := report.NewRunner(p, s.opts.Progress).Run(experiment)
+	if err != nil {
+		return nil, err
+	}
+	doc := ResultDoc{Hash: key, Experiment: experiment, Params: p, Report: rep}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	out := []entry{}
+	for _, id := range report.IDs() {
+		out = append(out, entry{ID: id, Title: report.Title(id)})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	resp := JobResponse{
+		ID: snap.ID, Status: string(snap.Status), Error: snap.Error,
+		Created: snap.Created, Started: snap.Started, Finished: snap.Finished,
+	}
+	if hash, ok := snap.Result.(string); ok {
+		resp.ResultHash = hash
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	b, ok := s.cache.Peek(hash)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no result for hash %q", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(w, `{"error":"encoding response: %v"}`, err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,295 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eccparity/internal/jobqueue"
+)
+
+// smallBody is a reduced-budget request that exercises real simulation and
+// Monte Carlo paths while staying fast enough for -race CI.
+const smallBody = `{"experiment":"table3","cycles":2000,"warmup":200,"trials":8,"seed":5}`
+
+func newServer(t *testing.T, o Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, SubmitResponse) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr SubmitResponse
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode, sr
+}
+
+func getBody(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// pollDone polls the job until it is terminal and asserts it finished done.
+func pollDone(t *testing.T, url, jobID string) JobResponse {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		code, b := getBody(t, url+"/v1/jobs/"+jobID)
+		if code != http.StatusOK {
+			t.Fatalf("job poll: status %d: %s", code, b)
+		}
+		var jr JobResponse
+		if err := json.Unmarshal(b, &jr); err != nil {
+			t.Fatal(err)
+		}
+		if jobqueue.Status(jr.Status).Terminal() {
+			if jr.Status != string(jobqueue.StatusDone) {
+				t.Fatalf("job %s finished %s: %s", jobID, jr.Status, jr.Error)
+			}
+			return jr
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", jobID)
+	return JobResponse{}
+}
+
+// TestEndToEnd is the tentpole acceptance flow: submit → poll → fetch, then
+// an identical submission served from cache with the same hash and
+// byte-identical result, all observable via /metrics.
+func TestEndToEnd(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 2})
+
+	code, first := postJSON(t, ts.URL, smallBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: status %d", code)
+	}
+	if first.Cached || first.JobID == "" || first.ResultHash == "" {
+		t.Fatalf("first submit response %+v", first)
+	}
+	job := pollDone(t, ts.URL, first.JobID)
+	if job.ResultHash != first.ResultHash {
+		t.Errorf("job hash %s != submit hash %s", job.ResultHash, first.ResultHash)
+	}
+
+	code, body1 := getBody(t, ts.URL+"/v1/results/"+first.ResultHash)
+	if code != http.StatusOK {
+		t.Fatalf("result fetch: status %d: %s", code, body1)
+	}
+	var doc ResultDoc
+	if err := json.Unmarshal(body1, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Hash != first.ResultHash || doc.Experiment != "table3" || !strings.Contains(doc.Report.Text, "Table III") {
+		t.Errorf("result doc hash=%s exp=%s", doc.Hash, doc.Experiment)
+	}
+
+	// Second identical submission: same hash, served from cache, no job.
+	code, second := postJSON(t, ts.URL, smallBody)
+	if code != http.StatusOK {
+		t.Fatalf("second submit: status %d", code)
+	}
+	if !second.Cached || second.ResultHash != first.ResultHash || second.JobID != "" {
+		t.Fatalf("second submit response %+v, want cached with hash %s", second, first.ResultHash)
+	}
+	_, body2 := getBody(t, ts.URL+"/v1/results/"+second.ResultHash)
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit bytes differ from the original result")
+	}
+
+	code, metrics := getBody(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	m := string(metrics)
+	for _, want := range []string{
+		"eccsimd_queue_depth 0",
+		"eccsimd_jobs_inflight 0",
+		"eccsimd_jobs_total{status=\"done\"} 1",
+		"eccsimd_cache_hits_total 1",
+		"eccsimd_cache_misses_total 1",
+		"eccsimd_experiment_latency_ms_count{experiment=\"table3\"} 1",
+		"eccsimd_experiment_latency_ms_bucket{experiment=\"table3\",le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestWorkerCountInvariantResults asserts determinism as an API contract:
+// two daemons with different internal worker pools produce the same result
+// hash and byte-identical result documents for the same request.
+func TestWorkerCountInvariantResults(t *testing.T) {
+	run := func(workers int) (string, []byte) {
+		_, ts := newServer(t, Options{Workers: workers})
+		code, sr := postJSON(t, ts.URL, smallBody)
+		if code != http.StatusAccepted {
+			t.Fatalf("workers=%d: submit status %d", workers, code)
+		}
+		pollDone(t, ts.URL, sr.JobID)
+		code, b := getBody(t, ts.URL+"/v1/results/"+sr.ResultHash)
+		if code != http.StatusOK {
+			t.Fatalf("workers=%d: fetch status %d", workers, code)
+		}
+		return sr.ResultHash, b
+	}
+	h1, b1 := run(1)
+	h8, b8 := run(8)
+	if h1 != h8 {
+		t.Errorf("result hash differs: workers=1 %s, workers=8 %s", h1, h8)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Error("result bytes differ between workers=1 and workers=8")
+	}
+}
+
+func TestNormalizationCollapsesEquivalentRequests(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 2})
+	// fig1 is analytic: cycles/trials are irrelevant but still part of the
+	// normalized identity; zero values must normalize to the defaults.
+	code, a := postJSON(t, ts.URL, `{"experiment":"fig1"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollDone(t, ts.URL, a.JobID)
+	code, b := postJSON(t, ts.URL, `{"experiment":"fig1","seed":1,"cycles":400000,"warmup":60000,"trials":2000}`)
+	if code != http.StatusOK || !b.Cached || b.ResultHash != a.ResultHash {
+		t.Errorf("explicit-defaults request: code=%d cached=%v hash=%s (want cache hit on %s)",
+			code, b.Cached, b.ResultHash, a.ResultHash)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1})
+	for name, body := range map[string]string{
+		"unknown experiment": `{"experiment":"fig99"}`,
+		"bad json":           `{"experiment":`,
+		"unknown field":      `{"experiment":"fig1","bogus":1}`,
+		"negative trials":    `{"experiment":"fig8","trials":-4}`,
+		"huge budget":        fmt.Sprintf(`{"experiment":"fig8","trials":%d}`, MaxTrials+1),
+	} {
+		code, _ := postJSON(t, ts.URL, body)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+func TestLookupErrors(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1})
+	if code, _ := getBody(t, ts.URL+"/v1/jobs/job-404"); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/results/"+strings.Repeat("ab", 32)); code != http.StatusNotFound {
+		t.Errorf("unknown result: status %d, want 404", code)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/results/../../etc/passwd"); code == http.StatusOK {
+		t.Error("path traversal in result hash must not succeed")
+	}
+}
+
+func TestHealthzAndList(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1})
+	code, b := getBody(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(string(b), "ok") {
+		t.Errorf("/healthz: %d %s", code, b)
+	}
+	code, b = getBody(t, ts.URL+"/v1/experiments")
+	if code != http.StatusOK || !strings.Contains(string(b), `"fig8"`) || !strings.Contains(string(b), `"table3"`) {
+		t.Errorf("/v1/experiments: %d %s", code, b)
+	}
+}
+
+// TestDrainRejectsNewWorkAndFinishesOldWork mirrors the daemon's SIGTERM
+// path: after Drain starts, in-flight jobs finish and land in the cache,
+// and new submissions get 503.
+func TestDrainRejectsNewWorkAndFinishesOldWork(t *testing.T) {
+	s, ts := newServer(t, Options{Workers: 2, JobWorkers: 1})
+	code, sr := postJSON(t, ts.URL, smallBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	// The accepted job must have completed and its result must be served.
+	jr := pollDone(t, ts.URL, sr.JobID)
+	if jr.ResultHash != sr.ResultHash {
+		t.Errorf("drained job hash %s != %s", jr.ResultHash, sr.ResultHash)
+	}
+	if code, _ := getBody(t, ts.URL+"/v1/results/"+sr.ResultHash); code != http.StatusOK {
+		t.Errorf("result missing after drain: status %d", code)
+	}
+	if code, _ := postJSON(t, ts.URL, `{"experiment":"fig1"}`); code != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: status %d, want 503", code)
+	}
+}
+
+// TestDiskCacheSurvivesRestart: a second server over the same cache dir
+// serves the first server's result as a cache hit without recomputing.
+func TestDiskCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newServer(t, Options{Workers: 2, CacheDir: dir})
+	code, sr := postJSON(t, ts1.URL, smallBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	pollDone(t, ts1.URL, sr.JobID)
+	_, orig := getBody(t, ts1.URL+"/v1/results/"+sr.ResultHash)
+
+	_, ts2 := newServer(t, Options{Workers: 2, CacheDir: dir})
+	// Memory is cold but the submit fast path consults disk: the identical
+	// request is answered as a cache hit with no job at all.
+	code, again := postJSON(t, ts2.URL, smallBody)
+	if code != http.StatusOK || !again.Cached || again.ResultHash != sr.ResultHash {
+		t.Fatalf("restart submit: status %d cached=%v hash=%s, want disk hit on %s",
+			code, again.Cached, again.ResultHash, sr.ResultHash)
+	}
+	codeB, b := getBody(t, ts2.URL+"/v1/results/"+sr.ResultHash)
+	if codeB != http.StatusOK || !bytes.Equal(orig, b) {
+		t.Errorf("restart result: status %d, bytes equal = %v", codeB, bytes.Equal(orig, b))
+	}
+	_, metrics := getBody(t, ts2.URL+"/metrics")
+	if !strings.Contains(string(metrics), "eccsimd_cache_hits_total 1") {
+		t.Errorf("restart /metrics should show a disk hit:\n%s", metrics)
+	}
+}

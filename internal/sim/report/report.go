@@ -1,0 +1,166 @@
+// Package report exposes every experiment of the paper's evaluation as a
+// library call returning a structured result, instead of a CLI printing to
+// stdout. cmd/eccsim, cmd/faultmc and the eccsimd daemon all dispatch
+// through the one registry here, so the rendered bytes of an experiment are
+// identical no matter which front end asked for it.
+//
+// The determinism contract the daemon's result cache is built on lives at
+// this boundary: a Report's Text and Data depend only on the experiment id
+// and the Params identity fields (Cycles, Warmup, Trials, Seed, CSV) —
+// never on Workers, which is purely a throughput knob, and never on
+// scheduling (see internal/parallel).
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"eccparity/internal/sim"
+)
+
+// Params carries the experiment knobs. Workers is deliberately excluded
+// from result identity (same seed ⇒ same bytes at any worker count), so
+// callers hashing a Params for caching must leave it out — the json tag
+// enforces that for the common encoding/json path.
+type Params struct {
+	Cycles  float64 `json:"cycles"`
+	Warmup  int     `json:"warmup"`
+	Trials  int     `json:"trials"`
+	Seed    int64   `json:"seed"`
+	CSV     bool    `json:"csv,omitempty"`
+	Workers int     `json:"-"`
+}
+
+// DefaultParams returns the full-fidelity budget of cmd/eccsim.
+func DefaultParams() Params {
+	return Params{Cycles: 400000, Warmup: 60000, Trials: 2000, Seed: 1}
+}
+
+// Normalized fills zero-valued knobs from DefaultParams, so partial
+// requests (e.g. over HTTP) resolve to one canonical identity before
+// hashing. A zero seed normalizes to the default seed 1.
+func (p Params) Normalized() Params {
+	d := DefaultParams()
+	if p.Cycles <= 0 {
+		p.Cycles = d.Cycles
+	}
+	if p.Warmup <= 0 {
+		p.Warmup = d.Warmup
+	}
+	if p.Trials <= 0 {
+		p.Trials = d.Trials
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Report is one experiment's result: the exact text the CLI prints plus the
+// structured rows behind it (figure-specific types, JSON-serializable).
+type Report struct {
+	Experiment string `json:"experiment"`
+	Title      string `json:"title"`
+	Text       string `json:"text"`
+	Data       any    `json:"data,omitempty"`
+}
+
+// Runner executes experiments for one Params, sharing the expensive
+// (scheme × workload) evaluation matrices across figures the way
+// `eccsim -exp all` always has. A Runner is not safe for concurrent use;
+// create one per request.
+type Runner struct {
+	p        Params
+	progress io.Writer
+	evals    map[sim.SystemClass]*sim.Evaluation
+}
+
+// NewRunner builds a Runner. progress receives the done/total tickers of
+// long campaigns (the CLIs pass stderr); nil silences them. Text output is
+// never written to progress, so rendered bytes stay identical regardless.
+func NewRunner(p Params, progress io.Writer) *Runner {
+	return &Runner{p: p, progress: progress, evals: map[sim.SystemClass]*sim.Evaluation{}}
+}
+
+// Params returns the Runner's parameters.
+func (r *Runner) Params() Params { return r.p }
+
+// opts translates Params into simulation options.
+func (r *Runner) opts() []sim.Option {
+	opts := []sim.Option{
+		sim.WithCycles(r.p.Cycles), sim.WithWarmup(r.p.Warmup),
+		sim.WithSeed(r.p.Seed), sim.WithWorkers(r.p.Workers),
+	}
+	if r.progress != nil {
+		opts = append(opts, sim.WithProgress(r.progress))
+	}
+	return opts
+}
+
+// eval returns the cached (scheme × workload) matrix for a system class,
+// running it on first use.
+func (r *Runner) eval(class sim.SystemClass) *sim.Evaluation {
+	if ev, ok := r.evals[class]; ok {
+		return ev
+	}
+	ev := sim.NewEvaluation(class, nil, nil, r.opts()...)
+	r.evals[class] = ev
+	return ev
+}
+
+// spec is one registry entry. run renders the experiment's text into w and
+// returns its structured data.
+type spec struct {
+	source string // "eccsim" or "faultmc": which CLI owns the id
+	title  string
+	run    func(r *Runner, w io.Writer) any
+}
+
+// Run executes one experiment id and returns its Report.
+func (r *Runner) Run(id string) (Report, error) {
+	sp, ok := registry[id]
+	if !ok {
+		return Report{}, fmt.Errorf("report: unknown experiment %q", id)
+	}
+	var buf bytes.Buffer
+	data := sp.run(r, &buf)
+	return Report{Experiment: id, Title: sp.title, Text: buf.String(), Data: data}, nil
+}
+
+// Known reports whether id names a registered experiment.
+func Known(id string) bool {
+	_, ok := registry[id]
+	return ok
+}
+
+// Title returns the registered experiment's title ("" if unknown).
+func Title(id string) string { return registry[id].title }
+
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EccsimIDs returns the ids `eccsim -exp all` runs, in its (sorted)
+// execution order.
+func EccsimIDs() []string {
+	out := []string{}
+	for id, sp := range registry {
+		if sp.source == "eccsim" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FaultmcIDs returns the ids `faultmc -exp all` runs, in its execution
+// order (fig2 first: its output opens without a leading blank line).
+func FaultmcIDs() []string { return []string{"fig2", "fig8", "fig18"} }

@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallParams is a reduced budget: big enough to exercise the real code
+// paths, small enough for -race CI.
+var smallParams = Params{Cycles: 4000, Warmup: 500, Trials: 12, Seed: 1}
+
+func TestRegistryCoversBothCLIs(t *testing.T) {
+	if got := len(EccsimIDs()); got != 17 {
+		t.Errorf("EccsimIDs: %d ids, want 17 (%v)", got, EccsimIDs())
+	}
+	if got := FaultmcIDs(); len(got) != 3 || got[0] != "fig2" {
+		t.Errorf("FaultmcIDs = %v, want [fig2 fig8 fig18]", got)
+	}
+	if len(IDs()) != 20 {
+		t.Errorf("IDs: %d ids, want 20", len(IDs()))
+	}
+	for _, id := range IDs() {
+		if !Known(id) {
+			t.Errorf("Known(%q) = false", id)
+		}
+		if Title(id) == "" {
+			t.Errorf("Title(%q) empty", id)
+		}
+	}
+	if Known("fig99") {
+		t.Error(`Known("fig99") = true`)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := NewRunner(smallParams, nil).Run("fig99"); err == nil {
+		t.Fatal("Run(fig99) must error")
+	}
+}
+
+// TestWorkerInvariantText asserts the API contract the result cache depends
+// on: a Report's Text is byte-identical at workers=1 and workers=8. The
+// three ids cover the simulation grid (fig9), the Monte Carlo campaigns
+// (table3, fig8) and the shared-evaluation figures are pinned end-to-end by
+// the cmd/eccsim golden test.
+func TestWorkerInvariantText(t *testing.T) {
+	for _, id := range []string{"fig9", "table3", "fig8", "fig2"} {
+		var texts []string
+		for _, workers := range []int{1, 8} {
+			p := smallParams
+			p.Workers = workers
+			rep, err := NewRunner(p, nil).Run(id)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", id, workers, err)
+			}
+			if rep.Text == "" {
+				t.Fatalf("%s workers=%d: empty text", id, workers)
+			}
+			texts = append(texts, rep.Text)
+		}
+		if texts[0] != texts[1] {
+			t.Errorf("%s: text differs between workers=1 and workers=8", id)
+		}
+	}
+}
+
+// TestSeedChangesMonteCarloText guards against an experiment silently
+// ignoring the seed (the request hash includes it, so two seeds must not
+// collapse to one cached byte stream for seed-dependent experiments).
+func TestSeedChangesMonteCarloText(t *testing.T) {
+	run := func(seed int64) string {
+		p := smallParams
+		p.Seed = seed
+		rep, err := NewRunner(p, nil).Run("fig8")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Text
+	}
+	if run(1) == run(99) {
+		t.Error("fig8: seeds 1 and 99 produced identical text")
+	}
+}
+
+func TestCSVChangesComparisonRendering(t *testing.T) {
+	p := smallParams
+	p.CSV = true
+	r := NewRunner(p, nil)
+	rep, err := r.Run("fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Text, "workload,vs_") {
+		t.Errorf("CSV rendering missing header row:\n%s", rep.Text)
+	}
+}
+
+func TestNormalizedFillsDefaults(t *testing.T) {
+	got := Params{Seed: 7}.Normalized()
+	want := DefaultParams()
+	want.Seed = 7
+	if got != want {
+		t.Errorf("Normalized() = %+v, want %+v", got, want)
+	}
+	if p := (Params{}).Normalized(); p != DefaultParams() {
+		t.Errorf("zero Params normalized to %+v, want defaults", p)
+	}
+}
