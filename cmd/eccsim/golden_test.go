@@ -1,8 +1,10 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"io"
 	"os"
 	"testing"
@@ -48,14 +50,14 @@ func goldenRun(t *testing.T, workers int) string {
 
 	p := goldenParams
 	p.Workers = workers
-	ok := runExperiments("all", p)
+	runErr := runExperiments(context.Background(), "all", p)
 	w.Close()
 	os.Stdout = old
 	if err := <-done; err != nil {
 		t.Fatalf("draining stdout: %v", err)
 	}
-	if !ok {
-		t.Fatal("runExperiments did not recognize \"all\"")
+	if runErr != nil {
+		t.Fatalf("runExperiments: %v", runErr)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -76,7 +78,19 @@ func TestGoldenOutputSeed1(t *testing.T) {
 func TestRunExperimentsRejectsUnknownID(t *testing.T) {
 	p := goldenParams
 	p.Progress = io.Discard
-	if runExperiments("fig99", p) {
-		t.Fatal("unknown experiment id must be rejected")
+	if err := runExperiments(context.Background(), "fig99", p); !errors.Is(err, errUnknownExperiment) {
+		t.Fatalf("err = %v, want errUnknownExperiment", err)
+	}
+}
+
+// TestRunExperimentsCanceledPrintsNothing: a pre-canceled context stops the
+// dispatcher before any simulation output reaches stdout.
+func TestRunExperimentsCanceledPrintsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := goldenParams
+	p.Progress = io.Discard
+	if err := runExperiments(ctx, "fig9", p); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -30,10 +30,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"eccparity/internal/cliflags"
 	"eccparity/internal/sim/report"
@@ -62,7 +66,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	ok := runExperiments(*exp, runParams{
+	// Ctrl-C / SIGTERM cancels the context; the engine observes it at its
+	// next checkpoint and the run stops within milliseconds, mid-experiment.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runErr := runExperiments(ctx, *exp, runParams{
 		Cycles:   *cycles,
 		Warmup:   *warmup,
 		Trials:   *trials,
@@ -71,11 +80,21 @@ func main() {
 		Progress: os.Stderr,
 	})
 	stopProf()
-	if !ok {
+	switch {
+	case errors.Is(runErr, errUnknownExperiment):
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (fig2/fig8/fig18 live in cmd/faultmc)\n", *exp)
 		os.Exit(2)
+	case errors.Is(runErr, context.Canceled):
+		fmt.Fprintln(os.Stderr, "eccsim: interrupted")
+		os.Exit(130)
+	case runErr != nil:
+		fmt.Fprintf(os.Stderr, "eccsim: %v\n", runErr)
+		os.Exit(1)
 	}
 }
+
+// errUnknownExperiment marks an id outside the eccsim registry.
+var errUnknownExperiment = errors.New("unknown experiment")
 
 // csvOut switches the comparison figures to machine-readable CSV.
 var csvOut bool
@@ -92,28 +111,29 @@ type runParams struct {
 }
 
 // runExperiments dispatches one experiment id (or "all") through the
-// internal/sim/report registry and reports whether the id was known.
-// Stdout depends only on the params, never on scheduling.
-func runExperiments(exp string, p runParams) bool {
+// internal/sim/report registry. Unknown ids return errUnknownExperiment;
+// a canceled ctx returns its error with nothing further printed. Stdout
+// depends only on the params, never on scheduling.
+func runExperiments(ctx context.Context, exp string, p runParams) error {
 	r := report.NewRunner(report.Params{
 		Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials,
 		Seed: p.Seed, Workers: p.Workers, CSV: csvOut,
 	}, p.Progress)
 	ids := report.EccsimIDs()
 	if exp != "all" {
-		ids = []string{exp}
 		if !known(exp) {
-			return false
+			return fmt.Errorf("%w: %q", errUnknownExperiment, exp)
 		}
+		ids = []string{exp}
 	}
 	for _, id := range ids {
-		rep, err := r.Run(id)
+		rep, err := r.RunContext(ctx, id)
 		if err != nil {
-			return false
+			return err
 		}
 		os.Stdout.WriteString(rep.Text)
 	}
-	return true
+	return nil
 }
 
 // known reports whether exp is an eccsim experiment (fig2/fig8/fig18 are

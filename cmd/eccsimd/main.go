@@ -41,7 +41,9 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "experiments executing concurrently")
 	queueCap := flag.Int("queue-cap", 16, "bounded submission backlog")
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty: in-memory only)")
-	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "on-disk cache byte budget; LRU entries are evicted past it (0: unbounded)")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution deadline, also the ceiling for per-request timeout_seconds (0: none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs before canceling stragglers")
 	progress := flag.Bool("progress", false, "emit per-experiment progress tickers on stderr")
 	flag.Parse()
 
@@ -55,11 +57,17 @@ func main() {
 		}
 	}
 
+	if *cacheMaxBytes < 0 {
+		fmt.Fprintln(os.Stderr, "-cache-max-bytes must be non-negative")
+		os.Exit(2)
+	}
 	opts := serve.Options{
-		Workers:    *workers,
-		JobWorkers: *jobWorkers,
-		QueueCap:   *queueCap,
-		CacheDir:   *cacheDir,
+		Workers:       *workers,
+		JobWorkers:    *jobWorkers,
+		QueueCap:      *queueCap,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMaxBytes,
+		JobTimeout:    *jobTimeout,
 	}
 	if *progress {
 		opts.Progress = os.Stderr

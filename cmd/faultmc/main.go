@@ -16,9 +16,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"eccparity/internal/cliflags"
 	"eccparity/internal/sim/report"
@@ -58,11 +62,20 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	// Ctrl-C / SIGTERM cancels the campaigns at the next worker-pool poll.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	r := report.NewRunner(report.Params{
 		Trials: *trials, Seed: common.Seed, Workers: common.Workers,
 	}, os.Stderr)
 	for _, id := range ids {
-		rep, err := r.Run(id)
+		rep, err := r.RunContext(ctx, id)
+		if errors.Is(err, context.Canceled) {
+			stopProf()
+			fmt.Fprintln(os.Stderr, "faultmc: interrupted")
+			os.Exit(130)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)

@@ -7,9 +7,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"eccparity/internal/workload"
 )
@@ -37,20 +40,27 @@ func main() {
 	case *inspect != "":
 		inspectTrace(*inspect)
 	case *name != "" && *out != "":
-		record(*name, *out, *n, *cores, *seed)
+		// Ctrl-C / SIGTERM stops between core files, leaving no torn trace.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		record(ctx, *name, *out, *n, *cores, *seed)
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
-func record(name, out string, n, cores int, seed int64) {
+func record(ctx context.Context, name, out string, n, cores int, seed int64) {
 	spec, ok := workload.ByName(name)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", name)
 		os.Exit(2)
 	}
 	for core := 0; core < cores; core++ {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "tracegen: interrupted")
+			os.Exit(130)
+		}
 		path := fmt.Sprintf("%s.core%d.trace", out, core)
 		f, err := os.Create(path)
 		if err != nil {

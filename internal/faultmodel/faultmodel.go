@@ -12,6 +12,7 @@
 package faultmodel
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -285,13 +286,25 @@ type EOLResult struct {
 // faulty — i.e. ended up with the actual ECC correction bits stored in
 // memory rather than ECC parities. Trials fan out over at most workers
 // goroutines (≤0 means NumCPU); each trial's RNG derives from TrialSeed, so
-// the result is bit-identical at any worker count.
+// the result is bit-identical at any worker count. It is the uninterruptible
+// form of SimulateEOLContext.
 func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int64, workers int) EOLResult {
+	res, err := SimulateEOLContext(context.Background(), topo, rates, hours, trials, seed, workers)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return res
+}
+
+// SimulateEOLContext is SimulateEOL with cancellation: the trial pool polls
+// ctx between trials and returns ctx's error once canceled, discarding any
+// partial campaign. A completed campaign is byte-identical to SimulateEOL.
+func SimulateEOLContext(ctx context.Context, topo Topology, rates Rates, hours float64, trials int, seed int64, workers int) (EOLResult, error) {
 	if trials <= 0 {
-		return EOLResult{}
+		return EOLResult{}, nil
 	}
 	m := NewModel(topo, rates)
-	fractions := parallel.Collect(trials, workers, func(i int) float64 {
+	fractions, err := parallel.CollectCtx(ctx, trials, workers, func(i int) float64 {
 		rng := rand.New(rand.NewSource(TrialSeed(seed, i)))
 		faults := m.SampleLifetime(rng, hours)
 		marked := map[BankID]bool{}
@@ -304,6 +317,9 @@ func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int
 		}
 		return float64(len(marked)) / float64(topo.TotalBanks())
 	})
+	if err != nil {
+		return EOLResult{}, err
+	}
 	sort.Float64s(fractions)
 	var sum float64
 	for _, f := range fractions {
@@ -320,15 +336,27 @@ func SimulateEOL(topo Topology, rates Rates, hours float64, trials int, seed int
 		MeanFraction: sum / float64(trials),
 		P999Fraction: fractions[idx],
 		Fractions:    fractions,
-	}
+	}, nil
 }
 
 // MeasureChannelFaultGaps runs a Monte Carlo estimate of the Fig. 2
 // quantity: the mean time between consecutive faults in different channels.
 // Trials fan out over at most workers goroutines (≤0 means NumCPU);
 // per-trial partial sums are reduced in trial order so the result is
-// bit-identical at any worker count.
+// bit-identical at any worker count. It is the uninterruptible form of
+// MeasureChannelFaultGapsContext.
 func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64, workers int) float64 {
+	v, err := MeasureChannelFaultGapsContext(context.Background(), fit, topo, trials, seed, workers)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return v
+}
+
+// MeasureChannelFaultGapsContext is MeasureChannelFaultGaps with
+// cancellation: the trial pool polls ctx between trials and returns ctx's
+// error once canceled.
+func MeasureChannelFaultGapsContext(ctx context.Context, fit float64, topo Topology, trials int, seed int64, workers int) (float64, error) {
 	m := NewModel(topo, DefaultRates().Scaled(fit))
 	// Long horizon so that most trials observe several faults.
 	horizon := 400 * HoursPerYear
@@ -336,7 +364,7 @@ func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64,
 		sum float64
 		n   int
 	}
-	parts := parallel.Collect(trials, workers, func(i int) gapSum {
+	parts, err := parallel.CollectCtx(ctx, trials, workers, func(i int) gapSum {
 		rng := rand.New(rand.NewSource(TrialSeed(seed, i)))
 		faults := m.SampleLifetime(rng, horizon)
 		// For each fault, the time until the NEXT fault in a different
@@ -354,6 +382,9 @@ func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64,
 		}
 		return g
 	})
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	var n int
 	for _, g := range parts {
@@ -361,7 +392,7 @@ func MeasureChannelFaultGaps(fit float64, topo Topology, trials int, seed int64,
 		n += g.n
 	}
 	if n == 0 {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
-	return sum / float64(n)
+	return sum / float64(n), nil
 }

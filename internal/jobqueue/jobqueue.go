@@ -62,10 +62,11 @@ type Snapshot struct {
 
 // job is the internal record; all fields past task are guarded by Queue.mu.
 type job struct {
-	id     string
-	task   Task
-	ctx    context.Context
-	cancel context.CancelFunc
+	id      string
+	task    Task
+	ctx     context.Context
+	cancel  context.CancelFunc
+	timeout time.Duration // 0 = no deadline; counted from job start
 
 	status   Status
 	err      string
@@ -129,6 +130,15 @@ func New(capacity, workers int) *Queue {
 // Submit enqueues a task FIFO and returns its job id. It never blocks:
 // a full buffer returns ErrFull, a closed queue ErrClosed.
 func (q *Queue) Submit(task Task) (string, error) {
+	return q.SubmitTimeout(task, 0)
+}
+
+// SubmitTimeout is Submit with a per-job deadline, counted from the moment
+// a worker starts the job (queue wait doesn't burn the budget). When the
+// deadline expires, the task's context is canceled; the job finishes
+// StatusFailed with context.DeadlineExceeded, distinct from an explicit
+// Cancel's StatusCanceled. A timeout of 0 means no deadline.
+func (q *Queue) SubmitTimeout(task Task, timeout time.Duration) (string, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -137,7 +147,7 @@ func (q *Queue) Submit(task Task) (string, error) {
 	q.nextID++
 	id := fmt.Sprintf("job-%d", q.nextID)
 	ctx, cancel := context.WithCancel(q.baseCtx)
-	j := &job{id: id, task: task, ctx: ctx, cancel: cancel, status: StatusQueued, created: time.Now()}
+	j := &job{id: id, task: task, ctx: ctx, cancel: cancel, timeout: timeout, status: StatusQueued, created: time.Now()}
 	// The send happens under the lock so it cannot race Close's close(ch).
 	select {
 	case q.ch <- j:
@@ -169,6 +179,14 @@ func (q *Queue) run(j *job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	q.inflight++
+	if j.timeout > 0 {
+		// The deadline clock starts here, not at Submit, so a job that sat
+		// in the buffer still gets its full budget. Replacing j.ctx under mu
+		// keeps Cancel's j.cancel() effective: it cancels the parent.
+		var cancelTimeout context.CancelFunc
+		j.ctx, cancelTimeout = context.WithTimeout(j.ctx, j.timeout)
+		defer cancelTimeout()
+	}
 	q.mu.Unlock()
 
 	res, err := runTask(j)

@@ -276,3 +276,66 @@ func TestForcedDrainCancelsQueuedJobs(t *testing.T) {
 		}
 	}
 }
+
+// TestSubmitTimeoutExpires: a job whose deadline fires mid-run sees its
+// context canceled with DeadlineExceeded and finishes StatusFailed —
+// distinct from an explicit cancel's StatusCanceled.
+func TestSubmitTimeoutExpires(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	id, err := q.SubmitTimeout(func(ctx context.Context) (any, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusFailed {
+		t.Fatalf("status = %s, want failed (deadline)", s.Status)
+	}
+	if s.Error != context.DeadlineExceeded.Error() {
+		t.Fatalf("error = %q, want %q", s.Error, context.DeadlineExceeded)
+	}
+}
+
+// TestSubmitTimeoutClockStartsAtRun: the deadline budget starts when a
+// worker picks the job up, so time spent queued behind other work does not
+// expire it.
+func TestSubmitTimeoutClockStartsAtRun(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	release := make(chan struct{})
+	q.Submit(func(context.Context) (any, error) { <-release; return nil, nil })
+	// Queued behind the blocker for longer than its own deadline.
+	id, _ := q.SubmitTimeout(func(ctx context.Context) (any, error) {
+		return "ran", ctx.Err()
+	}, 30*time.Millisecond)
+	time.Sleep(60 * time.Millisecond)
+	close(release)
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusDone || s.Result != "ran" {
+		t.Fatalf("snapshot %+v, want done/ran (queue wait must not burn the deadline)", s)
+	}
+}
+
+// TestCancelBeatsTimeout: an explicit cancel of a deadline-carrying job
+// still reports StatusCanceled.
+func TestCancelBeatsTimeout(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	started := make(chan struct{})
+	id, _ := q.SubmitTimeout(func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, time.Hour)
+	<-started
+	if !q.Cancel(id) {
+		t.Fatal("Cancel returned false for a running job")
+	}
+	s := waitTerminal(t, q, id)
+	if s.Status != StatusCanceled {
+		t.Fatalf("status = %s, want canceled", s.Status)
+	}
+}

@@ -14,6 +14,7 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -106,14 +107,31 @@ func capture[T any](ctx context.Context, i int, fn func(ctx context.Context, i i
 // form the Monte Carlo and simulation grids use. A panic inside fn is
 // re-raised in the caller (wrapped with the task index and stack).
 func Collect[T any](n, workers int, fn func(i int) T) []T {
-	out, err := Map(context.Background(), n, workers, func(_ context.Context, i int) (T, error) {
-		return fn(i), nil
-	})
+	out, err := CollectCtx(context.Background(), n, workers, fn)
 	if err != nil {
-		// Only a captured panic can produce an error here; restore it.
+		// Background is never canceled, so this is unreachable; keep the
+		// panic-restore contract anyway.
 		panic(err)
 	}
 	return out
+}
+
+// CollectCtx is Collect with cancellation: infallible tasks, but the pool
+// polls ctx between tasks and returns ctx's error once it is canceled (the
+// result slice is partial and must be discarded). Tasks themselves are
+// short by contract — one Monte Carlo trial, one grid cell — so the
+// between-task poll bounds how long a cancel can be outstanding; long
+// tasks (e.g. sim.RunContext cells) additionally poll ctx internally. A
+// panic inside fn is re-raised in the caller, as in Collect.
+func CollectCtx[T any](ctx context.Context, n, workers int, fn func(i int) T) ([]T, error) {
+	out, err := Map(ctx, n, workers, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+		// fn returns no errors, so anything else is a captured panic.
+		panic(err)
+	}
+	return out, err
 }
 
 // ForEach runs fn over [0, n) with Map's pooling, cancellation and panic

@@ -8,10 +8,16 @@
 //
 // Layout: an in-memory map in front of an optional on-disk directory of
 // <hash>.json files written atomically, so a daemon restart keeps its
-// corpus.
+// corpus. Each disk entry is framed with a payload checksum ("eccrc1
+// <sha256hex>\n<payload>") so a truncated or bit-flipped file is detected
+// on read, deleted, and treated as a miss — the result is recomputed, never
+// served corrupted. The disk layer is bounded: when a byte budget is set,
+// least-recently-used entries are evicted to stay under it.
 package resultcache
 
 import (
+	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -19,6 +25,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -40,6 +48,11 @@ func Key(config any) (string, error) {
 // validKey guards the on-disk path: keys are exactly 64 hex chars.
 var validKey = regexp.MustCompile(`^[0-9a-f]{64}$`)
 
+// diskMagic opens every disk entry, followed by the hex SHA-256 of the
+// payload and a newline. Bumping the version string invalidates the corpus
+// wholesale (old entries fail the frame check and recompute).
+const diskMagic = "eccrc1 "
+
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
 	// Hits: served from memory or disk without computing.
@@ -49,8 +62,16 @@ type Stats struct {
 	// Coalesced: callers that waited on another caller's in-flight
 	// computation of the same key instead of recomputing (singleflight).
 	Coalesced uint64
+	// Evicted: disk entries removed to stay under the byte budget.
+	Evicted uint64
+	// Corrupt: disk entries that failed their checksum frame and were
+	// deleted (each one recomputes as a miss).
+	Corrupt uint64
 	// Entries currently held in memory.
 	Entries int
+	// DiskEntries / DiskBytes describe the on-disk layer (0 when disabled).
+	DiskEntries int
+	DiskBytes   int64
 }
 
 // flight is one in-progress computation other callers can wait on. val and
@@ -61,26 +82,87 @@ type flight struct {
 	err  error
 }
 
+// diskEntry is one LRU index record; list front = most recently used.
+type diskEntry struct {
+	key  string
+	size int64
+}
+
 // Cache is safe for concurrent use.
 type Cache struct {
-	dir string // "" = memory only
+	dir      string // "" = memory only
+	maxBytes int64  // 0 = unbounded disk
 
 	mu       sync.Mutex
 	mem      map[string][]byte
 	inflight map[string]*flight
 
-	hits, misses, coalesced atomic.Uint64
+	// Disk LRU index, guarded by mu: index maps key → element whose Value
+	// is *diskEntry; bytes is the framed size sum of everything indexed.
+	lru   *list.List
+	index map[string]*list.Element
+	bytes int64
+
+	hits, misses, coalesced, evicted, corrupt atomic.Uint64
 }
 
-// New creates a cache. A nonempty dir enables the on-disk layer (created
-// if missing); dir == "" keeps results in memory only.
-func New(dir string) (*Cache, error) {
+// New creates a cache. A nonempty dir enables the on-disk layer (created if
+// missing); dir == "" keeps results in memory only. maxDiskBytes bounds the
+// on-disk layer: when a write would push the directory past the budget,
+// least-recently-used entries are evicted first (0 = unbounded). The
+// existing corpus is indexed at startup, oldest-first by mtime, and trimmed
+// to the budget immediately.
+func New(dir string, maxDiskBytes int64) (*Cache, error) {
+	c := &Cache{
+		dir: dir, maxBytes: maxDiskBytes,
+		mem: map[string][]byte{}, inflight: map[string]*flight{},
+		lru: list.New(), index: map[string]*list.Element{},
+	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("resultcache: %w", err)
 		}
+		if err := c.loadIndex(); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		c.evictLocked()
+		c.mu.Unlock()
 	}
-	return &Cache{dir: dir, mem: map[string][]byte{}, inflight: map[string]*flight{}}, nil
+	return c, nil
+}
+
+// loadIndex scans dir for well-formed entry names and rebuilds the LRU in
+// mtime order, so a restarted daemon evicts its stalest results first.
+func (c *Cache) loadIndex() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	type rec struct {
+		key   string
+		size  int64
+		mtime int64
+	}
+	recs := []rec{}
+	for _, e := range entries {
+		key, ok := strings.CutSuffix(e.Name(), ".json")
+		if !ok || !validKey.MatchString(key) || e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		recs = append(recs, rec{key: key, size: info.Size(), mtime: info.ModTime().UnixNano()})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].mtime < recs[j].mtime })
+	for _, r := range recs {
+		// Oldest first: each PushFront leaves the newest at the front.
+		c.index[r.key] = c.lru.PushFront(&diskEntry{key: r.key, size: r.size})
+		c.bytes += r.size
+	}
+	return nil
 }
 
 // Get returns the cached bytes for key, consulting memory then disk, and
@@ -107,11 +189,8 @@ func (c *Cache) lookup(key string) ([]byte, bool) {
 		return clone(v), true
 	}
 	c.mu.Unlock()
-	if c.dir == "" || !validKey.MatchString(key) {
-		return nil, false
-	}
-	b, err := os.ReadFile(c.path(key))
-	if err != nil {
+	b, ok := c.readDisk(key)
+	if !ok {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -124,7 +203,14 @@ func (c *Cache) lookup(key string) ([]byte, bool) {
 // key no matter how many callers arrive concurrently: the first caller
 // computes, the rest wait and share its result (or its error). hit reports
 // whether this caller's bytes were served without running compute itself.
-func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []byte, hit bool, err error) {
+//
+// ctx cancels this caller's wait and is the context compute runs under; a
+// canceled computation settles with its error, caches nothing (memory or
+// disk), and leaves the key open for the next caller to recompute.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(ctx context.Context) ([]byte, error)) (val []byte, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c.mu.Lock()
 	if v, ok := c.mem[key]; ok {
 		c.mu.Unlock()
@@ -133,7 +219,12 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
-		<-f.done
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			// This caller gives up; the flight keeps running for the others.
+			return nil, false, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, false, f.err
 		}
@@ -145,16 +236,14 @@ func (c *Cache) GetOrCompute(key string, compute func() ([]byte, error)) (val []
 	c.mu.Unlock()
 
 	// Disk check outside the lock: a restart's corpus counts as a hit.
-	if c.dir != "" && validKey.MatchString(key) {
-		if b, err := os.ReadFile(c.path(key)); err == nil {
-			c.settle(key, f, b, nil)
-			c.hits.Add(1)
-			return clone(b), true, nil
-		}
+	if b, ok := c.readDisk(key); ok {
+		c.settle(key, f, b, nil)
+		c.hits.Add(1)
+		return clone(b), true, nil
 	}
 
 	c.misses.Add(1)
-	v, cerr := compute()
+	v, cerr := compute(ctx)
 	if cerr == nil {
 		c.persist(key, v)
 	}
@@ -178,19 +267,50 @@ func (c *Cache) settle(key string, f *flight, v []byte, err error) {
 	close(f.done)
 }
 
-// persist writes the value to disk atomically (tmp + rename) so a crashed
-// write can never surface as a truncated result. Best-effort: the in-memory
-// layer still serves the value if the disk write fails.
+// readDisk reads and verifies one disk entry. A file that fails the frame
+// check — wrong magic, bad hex, checksum mismatch from truncation or bit
+// rot — is deleted and reported as a miss so the caller recomputes. A valid
+// read touches the entry in the LRU.
+func (c *Cache) readDisk(key string) ([]byte, bool) {
+	if c.dir == "" || !validKey.MatchString(key) {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := decodeFrame(b)
+	if !ok {
+		c.corrupt.Add(1)
+		os.Remove(c.path(key))
+		c.mu.Lock()
+		c.dropIndexLocked(key)
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.index[key]; ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	return payload, true
+}
+
+// persist writes the framed value to disk atomically (tmp + rename) so a
+// crashed write can never surface as a truncated result, then evicts LRU
+// entries past the byte budget. Best-effort: the in-memory layer still
+// serves the value if the disk write fails.
 func (c *Cache) persist(key string, v []byte) {
 	if c.dir == "" || !validKey.MatchString(key) {
 		return
 	}
+	framed := encodeFrame(v)
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
 		return
 	}
 	name := tmp.Name()
-	if _, err := tmp.Write(v); err != nil {
+	if _, err := tmp.Write(framed); err != nil {
 		tmp.Close()
 		os.Remove(name)
 		return
@@ -201,7 +321,67 @@ func (c *Cache) persist(key string, v []byte) {
 	}
 	if err := os.Rename(name, c.path(key)); err != nil {
 		os.Remove(name)
+		return
 	}
+	c.mu.Lock()
+	c.dropIndexLocked(key) // overwrite: replace any stale size
+	c.index[key] = c.lru.PushFront(&diskEntry{key: key, size: int64(len(framed))})
+	c.bytes += int64(len(framed))
+	c.evictLocked()
+	c.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used disk entries until the layer fits
+// the byte budget (mu held). Evicted results survive in memory if resident,
+// and can always be recomputed — determinism makes eviction safe.
+func (c *Cache) evictLocked() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes {
+		el := c.lru.Back()
+		if el == nil {
+			return
+		}
+		e := el.Value.(*diskEntry)
+		os.Remove(c.path(e.key))
+		c.dropIndexLocked(e.key)
+		c.evicted.Add(1)
+	}
+}
+
+// dropIndexLocked removes key from the LRU index if present (mu held).
+func (c *Cache) dropIndexLocked(key string) {
+	if el, ok := c.index[key]; ok {
+		c.bytes -= el.Value.(*diskEntry).size
+		c.lru.Remove(el)
+		delete(c.index, key)
+	}
+}
+
+// encodeFrame wraps a payload in the checksummed disk format.
+func encodeFrame(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	out := make([]byte, 0, len(diskMagic)+64+1+len(payload))
+	out = append(out, diskMagic...)
+	out = append(out, hex.EncodeToString(sum[:])...)
+	out = append(out, '\n')
+	return append(out, payload...)
+}
+
+// decodeFrame verifies the frame and returns the payload, or ok=false for
+// anything malformed — wrong magic, short file, checksum mismatch.
+func decodeFrame(b []byte) ([]byte, bool) {
+	rest, ok := strings.CutPrefix(string(b), diskMagic)
+	if !ok || len(rest) < 65 || rest[64] != '\n' {
+		return nil, false
+	}
+	payload := []byte(rest[65:])
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != rest[:64] {
+		return nil, false
+	}
+	return payload, true
 }
 
 func (c *Cache) path(key string) string {
@@ -212,12 +392,18 @@ func (c *Cache) path(key string) string {
 func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	entries := len(c.mem)
+	diskEntries := c.lru.Len()
+	diskBytes := c.bytes
 	c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Entries:   entries,
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Coalesced:   c.coalesced.Load(),
+		Evicted:     c.evicted.Load(),
+		Corrupt:     c.corrupt.Load(),
+		Entries:     entries,
+		DiskEntries: diskEntries,
+		DiskBytes:   diskBytes,
 	}
 }
 

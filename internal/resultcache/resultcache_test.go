@@ -2,6 +2,7 @@ package resultcache
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -38,7 +39,7 @@ func TestKeyDeterministicAndSensitive(t *testing.T) {
 // submissions of the same key execute the underlying computation exactly
 // once, and every caller gets the same bytes.
 func TestSingleflight(t *testing.T) {
-	c, err := New("")
+	c, err := New("", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, _, err := c.GetOrCompute("k1", func() ([]byte, error) {
+			v, _, err := c.GetOrCompute(context.Background(), "k1", func(context.Context) ([]byte, error) {
 				computes.Add(1)
 				<-gate // hold the flight open until all callers have arrived
 				return []byte("payload"), nil
@@ -86,14 +87,14 @@ func TestSingleflight(t *testing.T) {
 // TestHitReturnsOriginalBytes: a cache hit returns bytes identical to the
 // original run, and the caller cannot corrupt the cached copy.
 func TestHitReturnsOriginalBytes(t *testing.T) {
-	c, _ := New("")
+	c, _ := New("", 0)
 	orig := []byte(`{"experiment":"fig8","text":"=== Fig. 8 ==="}`)
-	v1, hit, err := c.GetOrCompute("k", func() ([]byte, error) { return orig, nil })
+	v1, hit, err := c.GetOrCompute(context.Background(), "k", func(context.Context) ([]byte, error) { return orig, nil })
 	if err != nil || hit {
 		t.Fatalf("first call: hit=%v err=%v, want miss/nil", hit, err)
 	}
 	v1[0] = 'X' // a caller mutating its copy must not poison the cache
-	v2, hit, err := c.GetOrCompute("k", func() ([]byte, error) {
+	v2, hit, err := c.GetOrCompute(context.Background(), "k", func(context.Context) ([]byte, error) {
 		t.Fatal("compute ran on a warm key")
 		return nil, nil
 	})
@@ -111,12 +112,12 @@ func TestHitReturnsOriginalBytes(t *testing.T) {
 func TestDiskPersistenceAcrossInstances(t *testing.T) {
 	dir := t.TempDir()
 	key, _ := Key(map[string]int{"seed": 1})
-	c1, err := New(dir)
+	c1, err := New(dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	orig := []byte("result-bytes")
-	if _, _, err := c1.GetOrCompute(key, func() ([]byte, error) { return orig, nil }); err != nil {
+	if _, _, err := c1.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) { return orig, nil }); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
@@ -124,8 +125,8 @@ func TestDiskPersistenceAcrossInstances(t *testing.T) {
 	}
 
 	// A fresh instance (daemon restart) serves the bytes without computing.
-	c2, _ := New(dir)
-	v, hit, err := c2.GetOrCompute(key, func() ([]byte, error) {
+	c2, _ := New(dir, 0)
+	v, hit, err := c2.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) {
 		t.Fatal("compute ran despite on-disk result")
 		return nil, nil
 	})
@@ -138,14 +139,14 @@ func TestDiskPersistenceAcrossInstances(t *testing.T) {
 }
 
 func TestComputeErrorSharedAndRetryable(t *testing.T) {
-	c, _ := New("")
+	c, _ := New("", 0)
 	boom := errors.New("boom")
 	calls := 0
-	if _, _, err := c.GetOrCompute("k", func() ([]byte, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.GetOrCompute(context.Background(), "k", func(context.Context) ([]byte, error) { calls++; return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want boom", err)
 	}
 	// Errors are not cached: the next caller retries.
-	v, hit, err := c.GetOrCompute("k", func() ([]byte, error) { calls++; return []byte("ok"), nil })
+	v, hit, err := c.GetOrCompute(context.Background(), "k", func(context.Context) ([]byte, error) { calls++; return []byte("ok"), nil })
 	if err != nil || hit || !bytes.Equal(v, []byte("ok")) {
 		t.Fatalf("retry: v=%q hit=%v err=%v", v, hit, err)
 	}
@@ -155,8 +156,8 @@ func TestComputeErrorSharedAndRetryable(t *testing.T) {
 }
 
 func TestPeekDoesNotCountHits(t *testing.T) {
-	c, _ := New("")
-	c.GetOrCompute("k", func() ([]byte, error) { return []byte("v"), nil })
+	c, _ := New("", 0)
+	c.GetOrCompute(context.Background(), "k", func(context.Context) ([]byte, error) { return []byte("v"), nil })
 	before := c.Stats().Hits
 	if v, ok := c.Peek("k"); !ok || string(v) != "v" {
 		t.Fatalf("Peek: ok=%v v=%q", ok, v)
@@ -170,7 +171,7 @@ func TestPeekDoesNotCountHits(t *testing.T) {
 }
 
 func TestConcurrentDistinctKeys(t *testing.T) {
-	c, _ := New(t.TempDir())
+	c, _ := New(t.TempDir(), 0)
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
@@ -179,7 +180,7 @@ func TestConcurrentDistinctKeys(t *testing.T) {
 			key, _ := Key(map[string]int{"i": i})
 			want := []byte(fmt.Sprintf("val-%d", i))
 			for j := 0; j < 4; j++ {
-				v, _, err := c.GetOrCompute(key, func() ([]byte, error) { return want, nil })
+				v, _, err := c.GetOrCompute(context.Background(), key, func(context.Context) ([]byte, error) { return want, nil })
 				if err != nil || !bytes.Equal(v, want) {
 					t.Errorf("key %d: v=%q err=%v", i, v, err)
 					return

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eccparity/pkg/api"
+)
+
+// longBody is a request big enough (100M-cycle grid) that it cannot finish
+// during a test run — cancellation is the only way it ends. Budget is at
+// the guardrail ceiling; distinct seeds keep test cases cache-disjoint.
+func longBody(seed int64) api.SubmitRequest {
+	return api.SubmitRequest{Experiment: "fig9", Cycles: MaxCycles, Warmup: 100, Seed: seed}
+}
+
+// TestCancelInterruptsRunningJob is the tentpole acceptance test, driven
+// end-to-end through the public client: submit a job that would take hours,
+// cancel it mid-flight, and require the engine to return promptly (the
+// context checkpoint interval is ~1k loop iterations — milliseconds; the
+// bound here is generous for -race CI). The cache must stay clean, and a
+// resubmission must start a fresh computation rather than serve a partial.
+func TestCancelInterruptsRunningJob(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, JobWorkers: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	sr, err := c.Submit(ctx, longBody(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cached || sr.JobID == "" {
+		t.Fatalf("submit response %+v", sr)
+	}
+	// Wait for the job to actually be executing so the cancel exercises the
+	// engine interrupt, not the queued-job fast path.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		js, err := c.Job(ctx, sr.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if js.Status == api.StatusRunning {
+			break
+		}
+		if api.Terminal(js.Status) {
+			t.Fatalf("job finished %s before cancel: %s", js.Status, js.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	canceledAt := time.Now()
+	if _, err := c.Cancel(ctx, sr.JobID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	js, err := c.Wait(waitCtx, sr.JobID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatalf("job did not reach a terminal state after cancel: %v", err)
+	}
+	t.Logf("cancel → terminal in %v", time.Since(canceledAt))
+	if js.Status != api.StatusCanceled {
+		t.Fatalf("status = %s (%s), want canceled", js.Status, js.Error)
+	}
+
+	// Nothing partial may be fetchable under the result hash.
+	var apiErr *api.Error
+	if _, err := c.Result(ctx, sr.ResultHash); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("Result after cancel: err=%v, want 404/not_found", err)
+	}
+
+	// Resubmitting the identical config must start over, not hit the cache.
+	sr2, err := c.Submit(ctx, longBody(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Cached {
+		t.Fatal("resubmission after cancel served from cache")
+	}
+	if sr2.ResultHash != sr.ResultHash {
+		t.Fatalf("resubmission hash %s != %s (identity must not include cancellation)", sr2.ResultHash, sr.ResultHash)
+	}
+	if _, err := c.Cancel(ctx, sr2.JobID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(waitCtx, sr2.JobID, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueSaturationReturns429 pins the backpressure contract: with one
+// worker occupied and the one-slot buffer full, the next submission gets
+// 429, a Retry-After hint, and the queue_full error code.
+func TestQueueSaturationReturns429(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, JobWorkers: 1, QueueCap: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	running, err := c.Submit(ctx, longBody(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first job occupies the worker so the second sits in
+	// the buffer rather than starting.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		js, _ := c.Job(ctx, running.JobID)
+		if js.Status == api.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	queued, err := c.Submit(ctx, longBody(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturated: worker busy + buffer full. Use the raw transport to see
+	// the Retry-After header alongside the typed error.
+	resp, err := http.Post(ts.URL+"/v1/experiments", "application/json",
+		strings.NewReader(`{"experiment":"fig9","cycles":100000000,"warmup":100,"seed":13}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 response missing Retry-After header")
+	}
+	if _, err := c.Submit(ctx, longBody(14)); err == nil {
+		t.Fatal("client Submit succeeded against a saturated queue")
+	} else {
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || apiErr.Code != api.CodeQueueFull || apiErr.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("client error = %v, want queue_full/429", err)
+		}
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "eccsimd_rejected_full_total 2") {
+		t.Errorf("/metrics should count 2 rejections:\n%s", metrics)
+	}
+
+	for _, id := range []string{running.JobID, queued.JobID} {
+		if _, err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	for _, id := range []string{running.JobID, queued.JobID} {
+		if _, err := c.Wait(waitCtx, id, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestPerRequestDeadlineFailsJob: a tiny timeout_seconds on an hours-long
+// config expires mid-run; the job lands failed (not canceled) with the
+// deadline in its error, and the cache stays clean.
+func TestPerRequestDeadlineFailsJob(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, JobWorkers: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := longBody(21)
+	req.TimeoutSeconds = 0.05
+	sr, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	js, err := c.Wait(waitCtx, sr.JobID, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Status != api.StatusFailed || !strings.Contains(js.Error, "deadline") {
+		t.Fatalf("job = %s (%q), want failed with deadline error", js.Status, js.Error)
+	}
+	var apiErr *api.Error
+	if _, err := c.Result(ctx, sr.ResultHash); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("Result after deadline: err=%v, want 404", err)
+	}
+}
+
+// TestEffectiveTimeout pins the request/server deadline resolution: the
+// server default is both fallback and ceiling.
+func TestEffectiveTimeout(t *testing.T) {
+	s := &Server{opts: Options{JobTimeout: 10 * time.Second}}
+	cases := []struct {
+		seconds float64
+		want    time.Duration
+	}{
+		{0, 10 * time.Second},    // inherit default
+		{5, 5 * time.Second},     // under the ceiling: honored
+		{3600, 10 * time.Second}, // over the ceiling: clamped
+	}
+	for _, tc := range cases {
+		if got := s.effectiveTimeout(tc.seconds); got != tc.want {
+			t.Errorf("effectiveTimeout(%v) = %v, want %v", tc.seconds, got, tc.want)
+		}
+	}
+	unlimited := &Server{}
+	if got := unlimited.effectiveTimeout(7); got != 7*time.Second {
+		t.Errorf("no-default effectiveTimeout(7) = %v, want 7s", got)
+	}
+	if got := unlimited.effectiveTimeout(0); got != 0 {
+		t.Errorf("no-default effectiveTimeout(0) = %v, want 0", got)
+	}
+}
+
+// TestClientRunConvenience drives the submit→wait→fetch helper end to end
+// on a real (small) experiment, twice: fresh compute, then cache hit.
+func TestClientRunConvenience(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 2})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	req := api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8, Seed: 5}
+	res, err := c.Run(ctx, req, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Experiment != "table3" || !strings.Contains(res.Report.Text, "Table III") {
+		t.Fatalf("result %+v", res)
+	}
+	b1, err := c.ResultBytes(ctx, res.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := c.Run(ctx, req, 2*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := c.ResultBytes(ctx, res2.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Hash != res.Hash || string(b1) != string(b2) {
+		t.Fatal("cached Run returned different hash or bytes")
+	}
+
+	exps, err := c.Experiments(ctx)
+	if err != nil || len(exps) == 0 {
+		t.Fatalf("Experiments: %v (%d entries)", err, len(exps))
+	}
+	var apiErr *api.Error
+	if _, err := c.Job(ctx, "job-404"); !errors.As(err, &apiErr) || apiErr.Code != api.CodeNotFound {
+		t.Fatalf("Job(unknown) err = %v, want not_found", err)
+	}
+	if _, err := c.Cancel(ctx, "job-404"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("Cancel(unknown) err = %v, want 404", err)
+	}
+	if _, err := c.Submit(ctx, api.SubmitRequest{Experiment: "fig99"}); !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnknownExperiment {
+		t.Fatalf("Submit(unknown experiment) err = %v, want unknown_experiment", err)
+	}
+}

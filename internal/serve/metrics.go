@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"eccparity/internal/stats"
 )
@@ -17,6 +18,11 @@ import (
 type metrics struct {
 	mu      sync.Mutex
 	latency map[string]*stats.Histogram // experiment id → compute latency, ms
+
+	// rejectedFull counts 429 backpressure responses; cancelRequests counts
+	// accepted DELETE /v1/jobs cancellations.
+	rejectedFull   atomic.Uint64
+	cancelRequests atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -59,12 +65,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"done\"} %d\n", qc.Done)
 	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"failed\"} %d\n", qc.Failed)
 	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"canceled\"} %d\n", qc.Canceled)
+	counter("eccsimd_rejected_full_total", "Submissions rejected with 429 because the queue was saturated.", s.metrics.rejectedFull.Load())
+	counter("eccsimd_cancel_requests_total", "Accepted DELETE /v1/jobs cancellations.", s.metrics.cancelRequests.Load())
 
 	cs := s.cache.Stats()
 	counter("eccsimd_cache_hits_total", "Requests served from the result cache (memory or disk).", cs.Hits)
 	counter("eccsimd_cache_misses_total", "Requests that had to compute their result.", cs.Misses)
 	counter("eccsimd_cache_coalesced_total", "Requests that shared another request's in-flight computation.", cs.Coalesced)
+	counter("eccsimd_cache_evicted_total", "Disk entries evicted to stay under the byte budget.", cs.Evicted)
+	counter("eccsimd_cache_corrupt_total", "Disk entries that failed their checksum and were recomputed.", cs.Corrupt)
 	gauge("eccsimd_cache_entries", "Results held in memory.", cs.Entries)
+	gauge("eccsimd_cache_disk_entries", "Results held on disk.", cs.DiskEntries)
+	gauge("eccsimd_cache_disk_bytes", "Bytes used by the on-disk result layer.", cs.DiskBytes)
 	ratio := 0.0
 	if total := cs.Hits + cs.Coalesced + cs.Misses; total > 0 {
 		ratio = float64(cs.Hits+cs.Coalesced) / float64(total)

@@ -1,22 +1,28 @@
 // Package serve is the HTTP layer of the eccsimd daemon: it turns every
 // experiment of internal/sim/report into a submit/poll/fetch API backed by
 // the bounded job queue (internal/jobqueue) and the content-addressed
-// result cache (internal/resultcache).
+// result cache (internal/resultcache). The wire types — request/response
+// bodies, error envelope, status strings — live in pkg/api, shared with the
+// public Go client so server and client cannot drift.
 //
 // The API surface:
 //
-//	POST /v1/experiments        submit a config; 202 + job id (200 on cache hit)
-//	GET  /v1/experiments        list known experiment ids
-//	GET  /v1/jobs/{id}          poll a job's status
-//	GET  /v1/results/{hash}     fetch a result document by content address
-//	GET  /healthz               liveness
-//	GET  /metrics               Prometheus-text counters and histograms
-//	GET  /debug/vars            expvar (Go runtime memstats etc.)
+//	POST   /v1/experiments      submit a config; 202 + job id (200 on cache hit)
+//	GET    /v1/experiments      list known experiment ids
+//	GET    /v1/jobs/{id}        poll a job's status
+//	DELETE /v1/jobs/{id}        cancel a job (interrupts a running engine)
+//	GET    /v1/results/{hash}   fetch a result document by content address
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus-text counters and histograms
+//	GET    /debug/vars          expvar (Go runtime memstats etc.)
 //
 // Determinism is the API contract: a request is identified by the SHA-256
-// of its normalized config (seed included, worker count excluded), and the
-// same hash always maps to byte-identical result bytes — the second
-// identical submission is served from cache without recomputation.
+// of its normalized config (seed included, worker count and timeout
+// excluded), and the same hash always maps to byte-identical result bytes —
+// the second identical submission is served from cache without
+// recomputation. Cancellation is the flip side of the contract: a canceled
+// or deadline-expired job writes nothing to the cache, so a resubmission
+// recomputes from scratch rather than serving a partial result.
 package serve
 
 import (
@@ -32,6 +38,7 @@ import (
 	"eccparity/internal/jobqueue"
 	"eccparity/internal/resultcache"
 	"eccparity/internal/sim/report"
+	"eccparity/pkg/api"
 )
 
 // Guardrails against absurd budgets taking a worker hostage. The paper's
@@ -42,6 +49,9 @@ const (
 	MaxWarmup = 10_000_000
 	MaxTrials = 1_000_000
 )
+
+// retryAfterSeconds is the backpressure hint sent with 429 responses.
+const retryAfterSeconds = 1
 
 // Options configures a Server.
 type Options struct {
@@ -55,6 +65,13 @@ type Options struct {
 	QueueCap int
 	// CacheDir enables the on-disk result layer ("" = memory only).
 	CacheDir string
+	// CacheMaxBytes bounds the on-disk layer; least-recently-used entries
+	// are evicted past it (0 = unbounded).
+	CacheMaxBytes int64
+	// JobTimeout is the default per-job execution deadline, counted from
+	// job start, and the ceiling for per-request timeout_seconds overrides
+	// (0 = no default deadline).
+	JobTimeout time.Duration
 	// Progress receives grid/campaign progress tickers (nil = silent).
 	Progress io.Writer
 }
@@ -76,7 +93,7 @@ func New(o Options) (*Server, error) {
 	if o.QueueCap <= 0 {
 		o.QueueCap = 16
 	}
-	cache, err := resultcache.New(o.CacheDir)
+	cache, err := resultcache.New(o.CacheDir, o.CacheMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -90,6 +107,7 @@ func New(o Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -101,78 +119,41 @@ func New(o Options) (*Server, error) {
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Drain stops accepting jobs and waits for the backlog to finish (see
+// Drain stops accepting jobs and waits for the backlog to finish; if ctx
+// expires first, straggler jobs are canceled — their engines stop at the
+// next context checkpoint and nothing partial reaches the cache (see
 // jobqueue.Queue.Drain). Call http.Server.Shutdown first so no new
 // submissions race the close.
 func (s *Server) Drain(ctx context.Context) error {
 	return s.queue.Drain(ctx)
 }
 
-// ExperimentRequest is the POST /v1/experiments body. Zero-valued knobs
-// normalize to the full-fidelity defaults of cmd/eccsim (a zero seed means
-// seed 1), so partial requests are canonicalized before hashing.
-type ExperimentRequest struct {
-	Experiment string  `json:"experiment"`
-	Cycles     float64 `json:"cycles"`
-	Warmup     int     `json:"warmup"`
-	Trials     int     `json:"trials"`
-	Seed       int64   `json:"seed"`
-	CSV        bool    `json:"csv"`
-}
-
 // canonicalConfig is exactly what gets hashed into the result address.
-// report.Params omits Workers from its JSON encoding, keeping the identity
-// worker-count-free.
+// report.Params omits Workers from its JSON encoding, and TimeoutSeconds is
+// never copied in, keeping the identity worker-count- and deadline-free.
 type canonicalConfig struct {
 	Experiment string        `json:"experiment"`
 	Params     report.Params `json:"params"`
 }
 
-// SubmitResponse answers POST /v1/experiments.
-type SubmitResponse struct {
-	JobID      string `json:"job_id,omitempty"`
-	Status     string `json:"status"`
-	ResultHash string `json:"result_hash"`
-	Cached     bool   `json:"cached"`
-}
-
-// JobResponse answers GET /v1/jobs/{id}.
-type JobResponse struct {
-	ID         string    `json:"id"`
-	Status     string    `json:"status"`
-	Error      string    `json:"error,omitempty"`
-	ResultHash string    `json:"result_hash,omitempty"`
-	Created    time.Time `json:"created"`
-	Started    time.Time `json:"started"`
-	Finished   time.Time `json:"finished"`
-}
-
-// ResultDoc is the cached result document served by /v1/results/{hash}.
-type ResultDoc struct {
-	Hash       string        `json:"hash"`
-	Experiment string        `json:"experiment"`
-	Params     report.Params `json:"params"`
-	Report     report.Report `json:"report"`
-}
-
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req ExperimentRequest
+	var req api.SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "invalid request body: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "invalid request body: %v", err)
 		return
 	}
 	if !report.Known(req.Experiment) {
-		httpError(w, http.StatusBadRequest, "unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment)
+		httpError(w, http.StatusBadRequest, api.CodeUnknownExperiment, "unknown experiment %q (GET /v1/experiments lists valid ids)", req.Experiment)
 		return
 	}
-	if req.Cycles < 0 || req.Warmup < 0 || req.Trials < 0 {
-		httpError(w, http.StatusBadRequest, "cycles, warmup and trials must be non-negative (zero selects the default)")
+	if req.Cycles < 0 || req.Warmup < 0 || req.Trials < 0 || req.TimeoutSeconds < 0 {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "cycles, warmup, trials and timeout_seconds must be non-negative (zero selects the default)")
 		return
 	}
 	if req.Cycles > MaxCycles || req.Warmup > MaxWarmup || req.Trials > MaxTrials {
-		httpError(w, http.StatusBadRequest, "budget too large (max cycles %d, warmup %d, trials %d)", MaxCycles, MaxWarmup, MaxTrials)
+		httpError(w, http.StatusBadRequest, api.CodeBudgetTooLarge, "budget too large (max cycles %d, warmup %d, trials %d)", MaxCycles, MaxWarmup, MaxTrials)
 		return
 	}
 
@@ -183,21 +164,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	cc := canonicalConfig{Experiment: req.Experiment, Params: p}
 	key, err := resultcache.Key(cc)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "hashing config: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "hashing config: %v", err)
 		return
 	}
 
 	// Fast path: already computed — no job needed.
 	if _, ok := s.cache.Get(key); ok {
-		writeJSON(w, http.StatusOK, SubmitResponse{Status: string(jobqueue.StatusDone), ResultHash: key, Cached: true})
+		writeJSON(w, http.StatusOK, api.SubmitResponse{Status: api.StatusDone, ResultHash: key, Cached: true})
 		return
 	}
 
 	exp := req.Experiment
-	id, err := s.queue.Submit(func(context.Context) (any, error) {
+	id, err := s.queue.SubmitTimeout(func(ctx context.Context) (any, error) {
 		start := time.Now()
-		_, hit, err := s.cache.GetOrCompute(key, func() ([]byte, error) {
-			return s.compute(key, exp, p)
+		_, hit, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return s.compute(ctx, key, exp, p)
 		})
 		if err != nil {
 			return nil, err
@@ -206,32 +187,62 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.metrics.observe(exp, float64(time.Since(start).Nanoseconds())/1e6)
 		}
 		return key, nil
-	})
+	}, s.effectiveTimeout(req.TimeoutSeconds))
 	switch {
 	case errors.Is(err, jobqueue.ErrFull):
-		w.Header().Set("Retry-After", "1")
-		httpError(w, http.StatusServiceUnavailable, "queue full, retry later")
+		// Backpressure, not failure: the client should retry after a beat.
+		s.metrics.rejectedFull.Add(1)
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		httpError(w, http.StatusTooManyRequests, api.CodeQueueFull, "queue full, retry later")
 		return
 	case errors.Is(err, jobqueue.ErrClosed):
-		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		httpError(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining")
 		return
 	case err != nil:
-		httpError(w, http.StatusInternalServerError, "submit: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "submit: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, SubmitResponse{JobID: id, Status: string(jobqueue.StatusQueued), ResultHash: key})
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: id, Status: api.StatusQueued, ResultHash: key})
+}
+
+// effectiveTimeout resolves a request's timeout_seconds against the
+// server's default: the default is a ceiling, a zero request inherits it.
+func (s *Server) effectiveTimeout(seconds float64) time.Duration {
+	req := time.Duration(seconds * float64(time.Second))
+	switch {
+	case req <= 0:
+		return s.opts.JobTimeout
+	case s.opts.JobTimeout > 0 && req > s.opts.JobTimeout:
+		return s.opts.JobTimeout
+	default:
+		return req
+	}
 }
 
 // compute runs one experiment and renders its canonical result document.
 // The bytes depend only on (experiment, params-identity): report.Runner
-// guarantees worker-count invariance, json.MarshalIndent is deterministic.
-func (s *Server) compute(key, experiment string, p report.Params) ([]byte, error) {
+// guarantees worker-count invariance, json.Marshal of the data rows is
+// deterministic (struct order, sorted map keys), and MarshalIndent re-
+// indents the embedded RawMessage uniformly. A canceled ctx propagates out
+// before anything is cached.
+func (s *Server) compute(ctx context.Context, key, experiment string, p report.Params) ([]byte, error) {
 	p.Workers = s.opts.Workers
-	rep, err := report.NewRunner(p, s.opts.Progress).Run(experiment)
+	rep, err := report.NewRunner(p, s.opts.Progress).RunContext(ctx, experiment)
 	if err != nil {
 		return nil, err
 	}
-	doc := ResultDoc{Hash: key, Experiment: experiment, Params: p, Report: rep}
+	var data json.RawMessage
+	if rep.Data != nil {
+		if data, err = json.Marshal(rep.Data); err != nil {
+			return nil, err
+		}
+	}
+	doc := api.Result{
+		Hash:       key,
+		Experiment: experiment,
+		Params:     api.Params{Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials, Seed: p.Seed, CSV: p.CSV},
+		Report:     api.Report{Experiment: rep.Experiment, Title: rep.Title, Text: rep.Text, Data: data},
+	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return nil, err
@@ -240,38 +251,57 @@ func (s *Server) compute(key, experiment string, p report.Params) ([]byte, error
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	type entry struct {
-		ID    string `json:"id"`
-		Title string `json:"title"`
-	}
-	out := []entry{}
+	out := api.ExperimentList{Experiments: []api.ExperimentInfo{}}
 	for _, id := range report.IDs() {
-		out = append(out, entry{ID: id, Title: report.Title(id)})
+		out.Experiments = append(out.Experiments, api.ExperimentInfo{ID: id, Title: report.Title(id)})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"experiments": out})
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobStatus converts a queue snapshot to its wire form.
+func jobStatus(snap jobqueue.Snapshot) api.JobStatus {
+	js := api.JobStatus{
+		ID: snap.ID, Status: string(snap.Status), Error: snap.Error,
+		Created: snap.Created, Started: snap.Started, Finished: snap.Finished,
+	}
+	if hash, ok := snap.Result.(string); ok {
+		js.ResultHash = hash
+	}
+	return js
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	snap, ok := s.queue.Get(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	resp := JobResponse{
-		ID: snap.ID, Status: string(snap.Status), Error: snap.Error,
-		Created: snap.Created, Started: snap.Started, Finished: snap.Finished,
+	writeJSON(w, http.StatusOK, jobStatus(snap))
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}. A queued job is terminal in
+// the response already; a running job's engine observes the cancel at its
+// next context checkpoint (milliseconds), so the response may still read
+// "running" — clients poll to the terminal "canceled". Idempotent: deleting
+// a finished job returns its final state unchanged.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", id)
+		return
 	}
-	if hash, ok := snap.Result.(string); ok {
-		resp.ResultHash = hash
+	if s.queue.Cancel(id) {
+		s.metrics.cancelRequests.Add(1)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	snap, _ := s.queue.Get(id)
+	writeJSON(w, http.StatusOK, jobStatus(snap))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	b, ok := s.cache.Peek(hash)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no result for hash %q", hash)
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "no result for hash %q", hash)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -287,12 +317,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		fmt.Fprintf(w, `{"error":"encoding response: %v"}`, err)
+		fmt.Fprintf(w, `{"error":{"code":%q,"message":"encoding response: %v"}}`, api.CodeInternal, err)
 		return
 	}
 	w.Write(append(b, '\n'))
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.ErrorEnvelope{Error: api.ErrorDetail{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }

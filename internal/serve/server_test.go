@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"eccparity/internal/jobqueue"
+	"eccparity/pkg/api"
 )
 
 // smallBody is a reduced-budget request that exercises real simulation and
@@ -35,14 +36,14 @@ func newServer(t *testing.T, o Options) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postJSON(t *testing.T, url, body string) (int, SubmitResponse) {
+func postJSON(t *testing.T, url, body string) (int, api.SubmitResponse) {
 	t.Helper()
 	resp, err := http.Post(url+"/v1/experiments", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var sr SubmitResponse
+	var sr api.SubmitResponse
 	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 			t.Fatal(err)
@@ -66,7 +67,7 @@ func getBody(t *testing.T, url string) (int, []byte) {
 }
 
 // pollDone polls the job until it is terminal and asserts it finished done.
-func pollDone(t *testing.T, url, jobID string) JobResponse {
+func pollDone(t *testing.T, url, jobID string) api.JobStatus {
 	t.Helper()
 	deadline := time.Now().Add(60 * time.Second)
 	for time.Now().Before(deadline) {
@@ -74,7 +75,7 @@ func pollDone(t *testing.T, url, jobID string) JobResponse {
 		if code != http.StatusOK {
 			t.Fatalf("job poll: status %d: %s", code, b)
 		}
-		var jr JobResponse
+		var jr api.JobStatus
 		if err := json.Unmarshal(b, &jr); err != nil {
 			t.Fatal(err)
 		}
@@ -87,7 +88,7 @@ func pollDone(t *testing.T, url, jobID string) JobResponse {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("job %s never finished", jobID)
-	return JobResponse{}
+	return api.JobStatus{}
 }
 
 // TestEndToEnd is the tentpole acceptance flow: submit → poll → fetch, then
@@ -112,7 +113,7 @@ func TestEndToEnd(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("result fetch: status %d: %s", code, body1)
 	}
-	var doc ResultDoc
+	var doc api.Result
 	if err := json.Unmarshal(body1, &doc); err != nil {
 		t.Fatal(err)
 	}

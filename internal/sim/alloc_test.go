@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"eccparity/internal/raceflag"
@@ -21,8 +22,12 @@ func TestHandleAccessSteadyStateAllocs(t *testing.T) {
 	cfg.WarmupAccesses = 8000
 	cfg.MeasureCycles = 30000
 	e := newEngine(cfg)
-	e.warmup()
-	e.measure()
+	if err := e.warmup(context.Background()); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if err := e.measure(context.Background()); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
 	// Deeper into steady state: grow-once structures stop growing.
 	for i := 0; i < 20000; i++ {
 		acc := e.gens[0].Next()

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"io"
 	"sort"
 
@@ -60,11 +61,24 @@ type Evaluation struct {
 }
 
 // NewEvaluation runs the matrix for the given schemes and workloads; nil
-// slices mean "all". The cells are independent simulations, so they fan out
-// over a bounded worker pool (WithWorkers; default NumCPU) — each cell's
-// randomness derives only from its own Config, so the matrix is
-// bit-identical at any worker count.
+// slices mean "all". It is the uninterruptible form of EvaluationContext;
+// prefer New(...).Evaluate for new code.
 func NewEvaluation(class SystemClass, schemeKeys, workloads []string, opts ...Option) *Evaluation {
+	ev, err := EvaluationContext(context.Background(), class, schemeKeys, workloads, opts...)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return ev
+}
+
+// EvaluationContext runs the (scheme × workload) matrix with cancellation;
+// nil slices mean "all". The cells are independent simulations, so they fan
+// out over a bounded worker pool (WithWorkers; default NumCPU) — each
+// cell's randomness derives only from its own Config, so a completed matrix
+// is bit-identical at any worker count. Canceling ctx interrupts the
+// in-flight cells at the engine's checkpoint interval and returns ctx's
+// error; the partial matrix is discarded.
+func EvaluationContext(ctx context.Context, class SystemClass, schemeKeys, workloads []string, opts ...Option) (*Evaluation, error) {
 	if schemeKeys == nil {
 		schemeKeys = []string{"chipkill36", "chipkill18", "lotecc9", "multiecc", "lotecc5", "lotecc5+parity", "raim", "raim+parity"}
 	}
@@ -87,22 +101,28 @@ func NewEvaluation(class SystemClass, schemeKeys, workloads []string, opts ...Op
 	}
 	ev := &Evaluation{Class: class, Results: map[string]map[string]Result{}}
 	if len(cells) == 0 {
-		return ev
+		return ev, nil
 	}
 	grid := cfgFor(cells[0]) // the grid-level knobs are cell-invariant
 	prog := parallel.NewProgress(grid.ProgressW, "sim "+class.String(), len(cells))
-	results := parallel.Collect(len(cells), grid.Workers, func(i int) Result {
-		r := Run(cfgFor(cells[i]))
+	results, err := parallel.Map(ctx, len(cells), grid.Workers, func(ctx context.Context, i int) (Result, error) {
+		r, err := RunContext(ctx, cfgFor(cells[i]))
+		if err != nil {
+			return Result{}, err
+		}
 		prog.Step()
-		return r
+		return r, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	for i, c := range cells {
 		if ev.Results[c.scheme] == nil {
 			ev.Results[c.scheme] = map[string]Result{}
 		}
 		ev.Results[c.scheme][c.wl] = results[i]
 	}
-	return ev
+	return ev, nil
 }
 
 // Workloads returns the evaluated workload names in stable order.
@@ -266,9 +286,21 @@ type Fig9Row struct {
 }
 
 // Fig9Bandwidth characterizes the workloads on the dual-channel commercial
-// chipkill system, as the paper does. The sixteen per-workload simulations
-// fan out over the worker pool (WithWorkers), results in spec order.
+// chipkill system, as the paper does. It is the uninterruptible form of
+// Fig9BandwidthContext.
 func Fig9Bandwidth(opts ...Option) []Fig9Row {
+	rows, err := Fig9BandwidthContext(context.Background(), opts...)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return rows
+}
+
+// Fig9BandwidthContext characterizes the workloads with cancellation. The
+// sixteen per-workload simulations fan out over the worker pool
+// (WithWorkers), results in spec order; canceling ctx interrupts the
+// in-flight runs at the engine's checkpoint interval.
+func Fig9BandwidthContext(ctx context.Context, opts ...Option) ([]Fig9Row, error) {
 	specs := workload.Specs()
 	cfgFor := func(name string) Config {
 		cfg := DefaultConfig("chipkill36", DualEq, name)
@@ -278,15 +310,18 @@ func Fig9Bandwidth(opts ...Option) []Fig9Row {
 		return cfg
 	}
 	if len(specs) == 0 {
-		return nil
+		return nil, nil
 	}
 	grid := cfgFor(specs[0].Name)
 	prog := parallel.NewProgress(grid.ProgressW, "fig9", len(specs))
-	return parallel.Collect(len(specs), grid.Workers, func(i int) Fig9Row {
+	return parallel.Map(ctx, len(specs), grid.Workers, func(ctx context.Context, i int) (Fig9Row, error) {
 		spec := specs[i]
-		r := Run(cfgFor(spec.Name))
+		r, err := RunContext(ctx, cfgFor(spec.Name))
+		if err != nil {
+			return Fig9Row{}, err
+		}
 		prog.Step()
-		return Fig9Row{Workload: spec.Name, Utilization: r.BandwidthUtil, GBs: r.BandwidthGBs, Bin2: spec.Bin2}
+		return Fig9Row{Workload: spec.Name, Utilization: r.BandwidthUtil, GBs: r.BandwidthGBs, Bin2: spec.Bin2}, nil
 	})
 }
 
@@ -316,19 +351,37 @@ type Table3Row struct {
 	EOL      float64 // zero when not applicable
 }
 
-// Table3Capacity regenerates Table III. The EOL columns use the Fig. 8
-// Monte Carlo marked fraction for the paper's 4-rank/9-chip topology;
-// trials fan out over at most workers goroutines (≤0 = NumCPU) with
-// worker-count-invariant results.
+// Table3Capacity regenerates Table III. It is the uninterruptible form of
+// Table3CapacityContext.
 func Table3Capacity(mcTrials int, seed int64, workers int) []Table3Row {
+	rows, err := Table3CapacityContext(context.Background(), mcTrials, seed, workers)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return rows
+}
+
+// Table3CapacityContext regenerates Table III with cancellation. The EOL
+// columns use the Fig. 8 Monte Carlo marked fraction for the paper's
+// 4-rank/9-chip topology; trials fan out over at most workers goroutines
+// (≤0 = NumCPU) with worker-count-invariant results.
+func Table3CapacityContext(ctx context.Context, mcTrials int, seed int64, workers int) ([]Table3Row, error) {
+	var eolErr error
 	frac := func(channels int) float64 {
-		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(channels), faultmodel.DefaultRates(),
+		if eolErr != nil {
+			return 0
+		}
+		res, err := faultmodel.SimulateEOLContext(ctx, faultmodel.PaperTopology(channels), faultmodel.DefaultRates(),
 			7*faultmodel.HoursPerYear, mcTrials, seed, workers)
+		if err != nil {
+			eolErr = err
+			return 0
+		}
 		return res.MeanFraction
 	}
 	lot5 := ecc.R(ecc.NewLOTECC5())
 	raimR := ecc.R(ecc.NewRAIMParity())
-	return []Table3Row{
+	rows := []Table3Row{
 		{Config: "36-device commercial chipkill correct", Overhead: ecc.NewChipkill36().Overheads().Total()},
 		{Config: "18-device commercial chipkill correct", Overhead: ecc.NewChipkill18().Overheads().Total()},
 		{Config: "LOT-ECC9", Overhead: ecc.NewLOTECC9().Overheads().Total()},
@@ -344,6 +397,10 @@ func Table3Capacity(mcTrials int, seed int64, workers int) []Table3Row {
 		{Config: "5 chan RAIM + ECC Parity", Overhead: core.StaticOverhead(raimR, 5),
 			EOL: core.EOLOverhead(raimR, 5, frac(5))},
 	}
+	if eolErr != nil {
+		return nil, eolErr
+	}
+	return rows, nil
 }
 
 // Fig2Row is one point of the mean-time-between-channel-faults curve.
@@ -371,17 +428,30 @@ type Fig8Row struct {
 	P999     float64
 }
 
-// Fig8EOLFractions regenerates Fig. 8 across channel counts; each channel
-// count's Monte Carlo trials fan out over at most workers goroutines
-// (≤0 = NumCPU) with worker-count-invariant results.
+// Fig8EOLFractions regenerates Fig. 8 across channel counts. It is the
+// uninterruptible form of Fig8EOLFractionsContext.
 func Fig8EOLFractions(trials int, seed int64, workers int) []Fig8Row {
-	rows := []Fig8Row{}
-	for _, n := range []int{2, 4, 8, 16} {
-		res := faultmodel.SimulateEOL(faultmodel.PaperTopology(n), faultmodel.DefaultRates(),
-			7*faultmodel.HoursPerYear, trials, seed, workers)
-		rows = append(rows, Fig8Row{Channels: n, Mean: res.MeanFraction, P999: res.P999Fraction})
+	rows, err := Fig8EOLFractionsContext(context.Background(), trials, seed, workers)
+	if err != nil {
+		panic(err) // Background is never canceled
 	}
 	return rows
+}
+
+// Fig8EOLFractionsContext regenerates Fig. 8 with cancellation; each
+// channel count's Monte Carlo trials fan out over at most workers
+// goroutines (≤0 = NumCPU) with worker-count-invariant results.
+func Fig8EOLFractionsContext(ctx context.Context, trials int, seed int64, workers int) ([]Fig8Row, error) {
+	rows := []Fig8Row{}
+	for _, n := range []int{2, 4, 8, 16} {
+		res, err := faultmodel.SimulateEOLContext(ctx, faultmodel.PaperTopology(n), faultmodel.DefaultRates(),
+			7*faultmodel.HoursPerYear, trials, seed, workers)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig8Row{Channels: n, Mean: res.MeanFraction, P999: res.P999Fraction})
+	}
+	return rows, nil
 }
 
 // Fig18Row is one curve point of the scrub-window study.

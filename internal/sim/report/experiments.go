@@ -25,14 +25,14 @@ var registry = map[string]spec{
 	"table2":     {source: "eccsim", title: "Table II — evaluated ECC configurations", run: table2},
 	"table3":     {source: "eccsim", title: "Table III — capacity overheads", run: table3},
 	"fig9":       {source: "eccsim", title: "Fig. 9 — workload bandwidth utilization", run: fig9},
-	"fig10":      {source: "eccsim", title: "Fig. 10 — memory EPI reduction (quad)", run: func(r *Runner, w io.Writer) any { return figEPI(r, w, sim.QuadEq) }},
-	"fig11":      {source: "eccsim", title: "Fig. 11 — memory EPI reduction (dual)", run: func(r *Runner, w io.Writer) any { return figEPI(r, w, sim.DualEq) }},
+	"fig10":      {source: "eccsim", title: "Fig. 10 — memory EPI reduction (quad)", run: func(r *Runner, w io.Writer) (any, error) { return figEPI(r, w, sim.QuadEq) }},
+	"fig11":      {source: "eccsim", title: "Fig. 11 — memory EPI reduction (dual)", run: func(r *Runner, w io.Writer) (any, error) { return figEPI(r, w, sim.DualEq) }},
 	"fig12":      {source: "eccsim", title: "Fig. 12 — dynamic EPI reduction (quad)", run: figDyn},
 	"fig13":      {source: "eccsim", title: "Fig. 13 — background EPI reduction (quad)", run: figBg},
-	"fig14":      {source: "eccsim", title: "Fig. 14 — performance normalized (quad)", run: func(r *Runner, w io.Writer) any { return figPerf(r, w, sim.QuadEq) }},
-	"fig15":      {source: "eccsim", title: "Fig. 15 — performance normalized (dual)", run: func(r *Runner, w io.Writer) any { return figPerf(r, w, sim.DualEq) }},
-	"fig16":      {source: "eccsim", title: "Fig. 16 — accesses per instruction normalized (quad)", run: func(r *Runner, w io.Writer) any { return figAcc(r, w, sim.QuadEq) }},
-	"fig17":      {source: "eccsim", title: "Fig. 17 — accesses per instruction normalized (dual)", run: func(r *Runner, w io.Writer) any { return figAcc(r, w, sim.DualEq) }},
+	"fig14":      {source: "eccsim", title: "Fig. 14 — performance normalized (quad)", run: func(r *Runner, w io.Writer) (any, error) { return figPerf(r, w, sim.QuadEq) }},
+	"fig15":      {source: "eccsim", title: "Fig. 15 — performance normalized (dual)", run: func(r *Runner, w io.Writer) (any, error) { return figPerf(r, w, sim.DualEq) }},
+	"fig16":      {source: "eccsim", title: "Fig. 16 — accesses per instruction normalized (quad)", run: func(r *Runner, w io.Writer) (any, error) { return figAcc(r, w, sim.QuadEq) }},
+	"fig17":      {source: "eccsim", title: "Fig. 17 — accesses per instruction normalized (dual)", run: func(r *Runner, w io.Writer) (any, error) { return figAcc(r, w, sim.DualEq) }},
 	"counters":   {source: "eccsim", title: "§III-E — error-counter SRAM budget", run: counters},
 	"hpcstall":   {source: "eccsim", title: "§VI-B — HPC system stall estimate", run: hpcStall},
 	"undetected": {source: "eccsim", title: "§VI-D — undetectable error estimate", run: undetected},
@@ -59,23 +59,23 @@ func (r *Runner) stage(format string, args ...any) func() {
 	}
 }
 
-func fig1(r *Runner, w io.Writer) any {
+func fig1(r *Runner, w io.Writer) (any, error) {
 	header(w, "Fig. 1 — capacity overhead breakdown (detection vs correction bits)")
 	rows := sim.Fig1CapacityBreakdown()
 	for _, r := range rows {
 		fmt.Fprintf(w, "%-38s detection %5.1f%%  correction %5.1f%%  total %5.1f%%\n",
 			r.Scheme, 100*r.Detection, 100*r.Correction, 100*(r.Detection+r.Correction))
 	}
-	return rows
+	return rows, nil
 }
 
-func table1(r *Runner, w io.Writer) any {
+func table1(r *Runner, w io.Writer) (any, error) {
 	header(w, "Table I — processor microarchitecture")
 	p := cpu.DefaultParams()
 	fmt.Fprintf(w, "Issue width %d | bounded MLP %d | LLC hit %d cycles | 8 cores, 2GHz\n",
 		p.IssueWidth, p.MaxOutstanding, p.LLCHitCycles)
 	fmt.Fprintln(w, "L2 (LLC): 8MB, 16 ways, 64B/128B lines per scheme")
-	return p
+	return p, nil
 }
 
 // Table2Row is one evaluated configuration's geometry (Table II).
@@ -85,7 +85,7 @@ type Table2Row struct {
 	Geometry ecc.Geometry `json:"geometry"`
 }
 
-func table2(r *Runner, w io.Writer) any {
+func table2(r *Runner, w io.Writer) (any, error) {
 	header(w, "Table II — evaluated ECC configurations")
 	fmt.Fprintf(w, "%-32s %-14s %5s %10s %9s %9s\n", "", "Rank", "Line", "Ranks/Chan", "Channels", "I/O pins")
 	rows := []Table2Row{}
@@ -97,12 +97,15 @@ func table2(r *Runner, w io.Writer) any {
 			g.ChannelsDualEq, g.ChannelsQuadEq, g.PinsDualEq, g.PinsQuadEq)
 		rows = append(rows, Table2Row{Key: key, Display: sc.Display, Geometry: g})
 	}
-	return rows
+	return rows, nil
 }
 
-func table3(r *Runner, w io.Writer) any {
+func table3(r *Runner, w io.Writer) (any, error) {
 	header(w, "Table III — capacity overheads (EOL = end of life)")
-	rows := sim.Table3Capacity(r.p.Trials, r.p.Seed, r.p.Workers)
+	rows, err := sim.Table3CapacityContext(r.ctx, r.p.Trials, r.p.Seed, r.p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	for _, r := range rows {
 		if r.EOL > 0 {
 			fmt.Fprintf(w, "%-40s %5.1f%%, EOL avg: %5.1f%%\n", r.Config, 100*r.Overhead, 100*r.EOL)
@@ -110,12 +113,15 @@ func table3(r *Runner, w io.Writer) any {
 			fmt.Fprintf(w, "%-40s %5.1f%%\n", r.Config, 100*r.Overhead)
 		}
 	}
-	return rows
+	return rows, nil
 }
 
-func fig9(r *Runner, w io.Writer) any {
+func fig9(r *Runner, w io.Writer) (any, error) {
 	header(w, "Fig. 9 — workload bandwidth utilization (dual-channel commercial ECC)")
-	rows := sim.Fig9Bandwidth(r.opts()...)
+	rows, err := sim.Fig9BandwidthContext(r.ctx, r.opts()...)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].Utilization > rows[j].Utilization })
 	for _, r := range rows {
 		bin := "Bin1"
@@ -124,7 +130,7 @@ func fig9(r *Runner, w io.Writer) any {
 		}
 		fmt.Fprintf(w, "%-15s %s  %5.1f%% of peak  (%.1f GB/s)\n", r.Workload, bin, 100*r.Utilization, r.GBs)
 	}
-	return rows
+	return rows, nil
 }
 
 // printComparison renders one figure's comparison table, as text or (when
@@ -192,51 +198,66 @@ type ComparisonPair struct {
 	RAIM   sim.Comparison `json:"raim"`
 }
 
-func figEPI(r *Runner, w io.Writer, class sim.SystemClass) any {
+func figEPI(r *Runner, w io.Writer, class sim.SystemClass) (any, error) {
 	header(w, fmt.Sprintf("Fig. %s — memory EPI reduction, %s systems", figNo(class, "10", "11"), class))
-	ev := r.eval(class)
+	ev, err := r.eval(class)
+	if err != nil {
+		return nil, err
+	}
 	data := ComparisonPair{Parity: ev.Fig10EPI(), RAIM: ev.FigRAIMEPI()}
 	fmt.Fprintln(w, "LOT-ECC5 + ECC Parity:")
 	r.printComparison(w, data.Parity, "%")
 	fmt.Fprintln(w, "RAIM + ECC Parity:")
 	r.printComparison(w, data.RAIM, "%")
-	return data
+	return data, nil
 }
 
-func figDyn(r *Runner, w io.Writer) any {
+func figDyn(r *Runner, w io.Writer) (any, error) {
 	header(w, "Fig. 12 — dynamic EPI reduction, quad-equivalent systems")
-	ev := r.eval(sim.QuadEq)
+	ev, err := r.eval(sim.QuadEq)
+	if err != nil {
+		return nil, err
+	}
 	data := ComparisonPair{Parity: ev.Fig12Dynamic(), RAIM: ev.Fig12DynamicRAIM()}
 	r.printComparison(w, data.Parity, "%")
 	fmt.Fprintln(w, "RAIM + ECC Parity:")
 	r.printComparison(w, data.RAIM, "%")
-	return data
+	return data, nil
 }
 
-func figBg(r *Runner, w io.Writer) any {
+func figBg(r *Runner, w io.Writer) (any, error) {
 	header(w, "Fig. 13 — background EPI reduction, quad-equivalent systems")
-	ev := r.eval(sim.QuadEq)
+	ev, err := r.eval(sim.QuadEq)
+	if err != nil {
+		return nil, err
+	}
 	data := ev.Fig13Background()
 	r.printComparison(w, data, "%")
-	return data
+	return data, nil
 }
 
-func figPerf(r *Runner, w io.Writer, class sim.SystemClass) any {
+func figPerf(r *Runner, w io.Writer, class sim.SystemClass) (any, error) {
 	header(w, fmt.Sprintf("Fig. %s — performance normalized to baselines, %s systems", figNo(class, "14", "15"), class))
-	ev := r.eval(class)
+	ev, err := r.eval(class)
+	if err != nil {
+		return nil, err
+	}
 	data := ComparisonPair{Parity: ev.Fig14Perf(), RAIM: ev.Fig14PerfRAIM()}
 	r.printComparison(w, data.Parity, "x")
 	fmt.Fprintln(w, "RAIM + ECC Parity:")
 	r.printComparison(w, data.RAIM, "x")
-	return data
+	return data, nil
 }
 
-func figAcc(r *Runner, w io.Writer, class sim.SystemClass) any {
+func figAcc(r *Runner, w io.Writer, class sim.SystemClass) (any, error) {
 	header(w, fmt.Sprintf("Fig. %s — memory accesses per instruction normalized (lower is better), %s systems", figNo(class, "16", "17"), class))
-	ev := r.eval(class)
+	ev, err := r.eval(class)
+	if err != nil {
+		return nil, err
+	}
 	data := ev.Fig16Accesses()
 	r.printComparison(w, data, "x")
-	return data
+	return data, nil
 }
 
 func figNo(class sim.SystemClass, quad, dual string) string {
@@ -252,7 +273,7 @@ type CountersData struct {
 	MaxRetiredPages int `json:"max_retired_pages"`
 }
 
-func counters(r *Runner, w io.Writer) any {
+func counters(r *Runner, w io.Writer) (any, error) {
 	header(w, "§III-E — error-counter SRAM budget")
 	data := CountersData{
 		SRAMBytes:       faultmodel.CounterSRAMBytes(1024) * 2,
@@ -262,7 +283,7 @@ func counters(r *Runner, w io.Writer) any {
 		data.SRAMBytes)
 	fmt.Fprintf(w, "Max pages retired before a pair saturates (threshold 4, 8 channels): %d\n",
 		data.MaxRetiredPages)
-	return data
+	return data, nil
 }
 
 // HPCStallData is the §VI-B stall estimate.
@@ -270,13 +291,13 @@ type HPCStallData struct {
 	StallFraction float64 `json:"stall_fraction"`
 }
 
-func hpcStall(r *Runner, w io.Writer) any {
+func hpcStall(r *Runner, w io.Writer) (any, error) {
 	header(w, "§VI-B — HPC system stall estimate")
 	cfg := faultmodel.DefaultHPCConfig()
 	data := HPCStallData{StallFraction: cfg.StallFraction()}
 	fmt.Fprintf(w, "2PB system, 128GB/node, 1GB/s NIC: stalled %.2f%% of the time (paper: 0.35%%)\n",
 		100*data.StallFraction)
-	return data
+	return data, nil
 }
 
 // MixedRankPoint pairs one hot-fraction sweep point with its result.
@@ -285,7 +306,7 @@ type MixedRankPoint struct {
 	sim.MixedRankResult
 }
 
-func mixedRank(r *Runner, w io.Writer) any {
+func mixedRank(r *Runner, w io.Writer) (any, error) {
 	header(w, "§VI-A — mixed narrow/wide ranks (2 wide + 2 narrow per channel, 8 channels)")
 	fmt.Fprintln(w, "hot%   dyn pJ/access   vs all-narrow   capacity vs all-narrow   ECC overhead (parity vs none)")
 	hots := []float64{0, 0.5, 0.8, 0.9, 0.95, 1.0}
@@ -296,7 +317,7 @@ func mixedRank(r *Runner, w io.Writer) any {
 			100*r.OverheadWithParity, 100*r.OverheadWithoutParity)
 		points = append(points, MixedRankPoint{HotFraction: hots[i], MixedRankResult: r})
 	}
-	return points
+	return points, nil
 }
 
 // UndetectedData is the §VI-D undetectable-error estimate.
@@ -304,11 +325,11 @@ type UndetectedData struct {
 	Years float64 `json:"years"`
 }
 
-func undetected(r *Runner, w io.Writer) any {
+func undetected(r *Runner, w io.Writer) (any, error) {
 	header(w, "§VI-D — undetectable error rate, modified LOT-ECC5 encoding")
 	years := faultmodel.UndetectedErrorYears(faultmodel.PaperTopology(8), faultmodel.DefaultRates(), 4)
 	fmt.Fprintf(w, "One undetected error per %.0f years (paper: ~300,000; target: 1000)\n", years)
-	return UndetectedData{Years: years}
+	return UndetectedData{Years: years}, nil
 }
 
 // Fig2Data is the analytic curve plus its Monte Carlo cross-check.
@@ -319,7 +340,7 @@ type Fig2Data struct {
 	AnalyticDays   float64       `json:"analytic_days"`
 }
 
-func fig2(r *Runner, w io.Writer) any {
+func fig2(r *Runner, w io.Writer) (any, error) {
 	fmt.Fprintln(w, "=== Fig. 2 — mean time between faults in different channels ===")
 	fmt.Fprintln(w, "(8 channels × 4 ranks × 9 chips, exponential failure distribution)")
 	rows := sim.Fig2ChannelFaultGaps()
@@ -329,7 +350,10 @@ func fig2(r *Runner, w io.Writer) any {
 	// Cross-check one point against Monte Carlo (40 trials suffice).
 	done := r.stage("fig2: Monte Carlo cross-check, 40 trials, workers=%d", r.p.Workers)
 	topo := faultmodel.PaperTopology(8)
-	mc := faultmodel.MeasureChannelFaultGaps(44, topo, 40, r.p.Seed, r.p.Workers)
+	mc, err := faultmodel.MeasureChannelFaultGapsContext(r.ctx, 44, topo, 40, r.p.Seed, r.p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	done()
 	data := Fig2Data{
 		Rows:           rows,
@@ -339,22 +363,25 @@ func fig2(r *Runner, w io.Writer) any {
 	}
 	fmt.Fprintf(w, "Monte Carlo cross-check at 44 FIT: %.0f days (analytic %.0f)\n",
 		data.MonteCarloDays, data.AnalyticDays)
-	return data
+	return data, nil
 }
 
-func fig8(r *Runner, w io.Writer) any {
+func fig8(r *Runner, w io.Writer) (any, error) {
 	fmt.Fprintln(w, "\n=== Fig. 8 — fraction of memory with stored correction bits after 7 years ===")
 	done := r.stage("fig8: %d trials × 4 channel counts, seed=%d, workers=%d", r.p.Trials, r.p.Seed, r.p.Workers)
-	rows := sim.Fig8EOLFractions(r.p.Trials, r.p.Seed, r.p.Workers)
+	rows, err := sim.Fig8EOLFractionsContext(r.ctx, r.p.Trials, r.p.Seed, r.p.Workers)
+	if err != nil {
+		return nil, err
+	}
 	done()
 	for _, r := range rows {
 		fmt.Fprintf(w, "%2d channels: mean %5.2f%%   99.9th pct %5.2f%%\n",
 			r.Channels, 100*r.Mean, 100*r.P999)
 	}
-	return rows
+	return rows, nil
 }
 
-func fig18(r *Runner, w io.Writer) any {
+func fig18(r *Runner, w io.Writer) (any, error) {
 	fmt.Fprintln(w, "\n=== Fig. 18 — P(faults in >1 channel within one detection window, 7-year life) ===")
 	rows := sim.Fig18ScrubWindows()
 	last := 0.0
@@ -366,5 +393,5 @@ func fig18(r *Runner, w io.Writer) any {
 		fmt.Fprintf(w, "window %6.0f h: %.6f\n", r.WindowHours, r.Probability)
 	}
 	fmt.Fprintln(w, "(paper reference point: 8h window at 100 FIT → 0.0002)")
-	return rows
+	return rows, nil
 }

@@ -13,6 +13,7 @@ package report
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -74,6 +75,7 @@ type Report struct {
 type Runner struct {
 	p        Params
 	progress io.Writer
+	ctx      context.Context // the active RunContext's context; Background between runs
 	evals    map[sim.SystemClass]*sim.Evaluation
 }
 
@@ -81,7 +83,7 @@ type Runner struct {
 // long campaigns (the CLIs pass stderr); nil silences them. Text output is
 // never written to progress, so rendered bytes stay identical regardless.
 func NewRunner(p Params, progress io.Writer) *Runner {
-	return &Runner{p: p, progress: progress, evals: map[sim.SystemClass]*sim.Evaluation{}}
+	return &Runner{p: p, progress: progress, ctx: context.Background(), evals: map[sim.SystemClass]*sim.Evaluation{}}
 }
 
 // Params returns the Runner's parameters.
@@ -100,32 +102,60 @@ func (r *Runner) opts() []sim.Option {
 }
 
 // eval returns the cached (scheme × workload) matrix for a system class,
-// running it on first use.
-func (r *Runner) eval(class sim.SystemClass) *sim.Evaluation {
+// running it on first use under the active run's context. A canceled run
+// caches nothing, so a later retry recomputes the matrix from scratch.
+func (r *Runner) eval(class sim.SystemClass) (*sim.Evaluation, error) {
 	if ev, ok := r.evals[class]; ok {
-		return ev
+		return ev, nil
 	}
-	ev := sim.NewEvaluation(class, nil, nil, r.opts()...)
+	s, err := sim.New(r.opts()...)
+	if err != nil {
+		return nil, err
+	}
+	ev, err := s.Evaluate(r.ctx, class, nil, nil)
+	if err != nil {
+		return nil, err
+	}
 	r.evals[class] = ev
-	return ev
+	return ev, nil
 }
 
 // spec is one registry entry. run renders the experiment's text into w and
-// returns its structured data.
+// returns its structured data; the error is the underlying campaign's
+// (typically ctx.Err() after a cancel), in which case the partial text is
+// discarded.
 type spec struct {
 	source string // "eccsim" or "faultmc": which CLI owns the id
 	title  string
-	run    func(r *Runner, w io.Writer) any
+	run    func(r *Runner, w io.Writer) (any, error)
 }
 
-// Run executes one experiment id and returns its Report.
+// Run executes one experiment id and returns its Report. It cannot be
+// interrupted; prefer RunContext.
 func (r *Runner) Run(id string) (Report, error) {
+	return r.RunContext(context.Background(), id)
+}
+
+// RunContext executes one experiment id under ctx and returns its Report.
+// Canceling ctx interrupts the underlying simulation or Monte Carlo
+// campaign at its checkpoint interval; the error then wraps ctx.Err() and
+// no Report is produced. A completed Report is byte-identical regardless
+// of ctx.
+func (r *Runner) RunContext(ctx context.Context, id string) (Report, error) {
 	sp, ok := registry[id]
 	if !ok {
 		return Report{}, fmt.Errorf("report: unknown experiment %q", id)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.ctx = ctx
+	defer func() { r.ctx = context.Background() }()
 	var buf bytes.Buffer
-	data := sp.run(r, &buf)
+	data, err := sp.run(r, &buf)
+	if err != nil {
+		return Report{}, err
+	}
 	return Report{Experiment: id, Title: sp.title, Text: buf.String(), Data: data}, nil
 }
 

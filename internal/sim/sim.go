@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -64,6 +65,24 @@ type Config struct {
 	// grid runners, one step per completed simulation cell (the CLIs pass
 	// os.Stderr so stdout stays byte-identical at any worker count).
 	ProgressW io.Writer
+
+	// optErr records the first Option that failed to apply (e.g. WithCell
+	// with an unknown scheme key); New surfaces it as the validation error.
+	optErr error
+}
+
+// baseConfig is the standard evaluation budget every entry point starts
+// from: the paper's eight cores and 8MB/16-way LLC with the full-fidelity
+// cycle/warmup window at seed 1, cell unselected.
+func baseConfig() Config {
+	return Config{
+		Cores:          8,
+		WarmupAccesses: 60000,
+		MeasureCycles:  400000,
+		LLCBytes:       8 << 20,
+		LLCWays:        16,
+		Seed:           1,
+	}
 }
 
 // DefaultConfig returns the standard evaluation configuration for one
@@ -73,17 +92,11 @@ func DefaultConfig(schemeKey string, class SystemClass, workloadName string) Con
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown workload %q", workloadName))
 	}
-	return Config{
-		Scheme:         SchemeByKey(schemeKey),
-		Class:          class,
-		Workload:       spec,
-		Cores:          8,
-		WarmupAccesses: 60000,
-		MeasureCycles:  400000,
-		LLCBytes:       8 << 20,
-		LLCWays:        16,
-		Seed:           1,
-	}
+	cfg := baseConfig()
+	cfg.Scheme = SchemeByKey(schemeKey)
+	cfg.Class = class
+	cfg.Workload = spec
+	return cfg
 }
 
 // Result is the outcome of one run.
@@ -134,12 +147,41 @@ type engine struct {
 	vq []cache.Evicted
 }
 
-// Run executes one simulation deterministically.
+// Run executes one simulation deterministically. It is the uninterruptible
+// form of RunContext; prefer New(...).Run for new code.
 func Run(cfg Config) Result {
+	res, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		panic(err) // Background is never canceled
+	}
+	return res
+}
+
+// ctxCheckEvery is the engine's cancellation checkpoint interval, in
+// simulation-loop iterations (must be a power of two). One iteration is one
+// memory access plus its cascade — well under a microsecond of host time —
+// so a cancel lands within single-digit milliseconds of wall clock, never
+// at run end. The poll itself is one branch plus an atomic-ish ctx.Err()
+// every 1024 iterations, far below the noise floor of the hot path.
+const ctxCheckEvery = 1024
+
+// RunContext executes one simulation deterministically, polling ctx at a
+// bounded checkpoint interval (ctxCheckEvery loop iterations) during both
+// warmup and the measured window. A run that completes is byte-identical
+// to Run — the checkpoints only observe, never reorder — and a canceled
+// run returns ctx's error with a zero Result.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e := newEngine(cfg)
-	e.warmup()
-	e.measure()
-	return e.collect()
+	if err := e.warmup(ctx); err != nil {
+		return Result{}, err
+	}
+	if err := e.measure(ctx); err != nil {
+		return Result{}, err
+	}
+	return e.collect(), nil
 }
 
 func newEngine(cfg Config) *engine {
@@ -197,14 +239,22 @@ func newEngine(cfg Config) *engine {
 	return e
 }
 
-func (e *engine) warmup() {
+func (e *engine) warmup(ctx context.Context) error {
 	e.warm = true
 	for i := 0; i < e.cfg.WarmupAccesses; i++ {
+		// Each outer iteration issues one access per core, so this polls at
+		// least every ctxCheckEvery accesses.
+		if i&(ctxCheckEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for c := range e.cores {
 			e.handleAccess(c, e.gens[c].Next())
 		}
 	}
 	e.warm = false
+	return nil
 }
 
 // releaseStride batches the controller Release calls: the arrival floor
@@ -212,7 +262,7 @@ func (e *engine) warmup() {
 // another retirement sweep of the bus rings.
 const releaseStride = 2048.0
 
-func (e *engine) measure() {
+func (e *engine) measure(ctx context.Context) error {
 	budget := e.cfg.MeasureCycles
 	scrubbing := e.cfg.ScrubLineInterval > 0
 	nextScrub := e.cfg.ScrubLineInterval
@@ -232,7 +282,14 @@ func (e *engine) measure() {
 	h := newCoreHeap(times)
 	lastRelease := 0.0
 
-	for {
+	for iter := 0; ; iter++ {
+		// Cancellation checkpoint: bounded to ctxCheckEvery iterations so a
+		// cancel interrupts mid-run, not at budget exhaustion.
+		if iter&(ctxCheckEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		// Scrubber reads proceed at their own fixed rate.
 		if scrubbing {
 			for nextScrub < budget && maxTime >= nextScrub {
@@ -271,6 +328,7 @@ func (e *engine) measure() {
 		h.fixMin(nt)
 	}
 	e.ctrl.Finish(budget)
+	return nil
 }
 
 // handleAccess performs one LLC access with the full eviction and

@@ -1,0 +1,171 @@
+// Package api defines the versioned wire types of the eccsimd v1 HTTP API,
+// shared by the server (internal/serve) and the Go client in this package,
+// so the two cannot drift. The types mirror the JSON on the wire exactly;
+// anything semantic — determinism, normalization, cache identity — is
+// documented on the field it applies to.
+//
+// The v1 surface:
+//
+//	POST   /v1/experiments      SubmitRequest → SubmitResponse (202, or 200 on cache hit)
+//	GET    /v1/experiments      ExperimentList
+//	GET    /v1/jobs/{id}        JobStatus
+//	DELETE /v1/jobs/{id}        cancel a job → JobStatus
+//	GET    /v1/results/{hash}   Result document (content-addressed)
+//
+// Errors are an envelope with a machine-readable code:
+//
+//	{"error": {"code": "queue_full", "message": "queue full, retry later"}}
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Version is the API version prefix all v1 routes share.
+const Version = "v1"
+
+// Job lifecycle states, as reported by JobStatus.Status. A job moves
+// queued → running → exactly one of done / failed / canceled. A deadline
+// expiry reports failed (with a deadline message); an explicit cancel
+// reports canceled.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// Terminal reports whether status is a final job state.
+func Terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// SubmitRequest is the POST /v1/experiments body. Zero-valued knobs
+// normalize to the full-fidelity defaults of cmd/eccsim (a zero seed means
+// seed 1), so partial requests collapse to one canonical identity before
+// hashing.
+type SubmitRequest struct {
+	// Experiment is a registered experiment id (GET /v1/experiments).
+	Experiment string  `json:"experiment"`
+	Cycles     float64 `json:"cycles,omitempty"`
+	Warmup     int     `json:"warmup,omitempty"`
+	Trials     int     `json:"trials,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	CSV        bool    `json:"csv,omitempty"`
+	// TimeoutSeconds bounds the job's execution time, counted from when a
+	// worker starts it. The server's configured default acts as a ceiling:
+	// the effective deadline is the smaller of the two. Zero inherits the
+	// server default. Deliberately NOT part of the result's cache identity —
+	// the same config computes the same bytes however long it was allowed
+	// to take.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+}
+
+// SubmitResponse answers POST /v1/experiments. On a cache hit (HTTP 200)
+// Cached is true, Status is "done" and JobID is empty — the result is
+// immediately fetchable at /v1/results/{ResultHash}. Otherwise (HTTP 202)
+// poll /v1/jobs/{JobID}.
+type SubmitResponse struct {
+	JobID      string `json:"job_id,omitempty"`
+	Status     string `json:"status"`
+	ResultHash string `json:"result_hash"`
+	Cached     bool   `json:"cached"`
+}
+
+// JobStatus answers GET (and DELETE) /v1/jobs/{id}.
+type JobStatus struct {
+	ID         string    `json:"id"`
+	Status     string    `json:"status"`
+	Error      string    `json:"error,omitempty"`
+	ResultHash string    `json:"result_hash,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started"`
+	Finished   time.Time `json:"finished"`
+}
+
+// Params is the normalized experiment identity inside a Result. Workers is
+// absent by design: results are worker-count invariant.
+type Params struct {
+	Cycles float64 `json:"cycles"`
+	Warmup int     `json:"warmup"`
+	Trials int     `json:"trials"`
+	Seed   int64   `json:"seed"`
+	CSV    bool    `json:"csv,omitempty"`
+}
+
+// Report is one experiment's rendered output: the exact text the eccsim /
+// faultmc CLIs print plus the structured rows behind it. Data's shape is
+// figure-specific; clients that care unmarshal it into their own types.
+type Report struct {
+	Experiment string          `json:"experiment"`
+	Title      string          `json:"title"`
+	Text       string          `json:"text"`
+	Data       json.RawMessage `json:"data,omitempty"`
+}
+
+// Result is the content-addressed document served by /v1/results/{hash}:
+// Hash is the SHA-256 of the normalized (experiment, params) config, and
+// the same hash always maps to byte-identical document bytes.
+type Result struct {
+	Hash       string `json:"hash"`
+	Experiment string `json:"experiment"`
+	Params     Params `json:"params"`
+	Report     Report `json:"report"`
+}
+
+// ExperimentInfo is one registry entry in GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+}
+
+// ExperimentList answers GET /v1/experiments.
+type ExperimentList struct {
+	Experiments []ExperimentInfo `json:"experiments"`
+}
+
+// Machine-readable error codes carried in the error envelope.
+const (
+	// CodeInvalidRequest: malformed body, unknown field, or out-of-range
+	// knob (HTTP 400).
+	CodeInvalidRequest = "invalid_request"
+	// CodeUnknownExperiment: the experiment id is not registered (HTTP 400).
+	CodeUnknownExperiment = "unknown_experiment"
+	// CodeBudgetTooLarge: cycles/warmup/trials exceed the guardrails (HTTP 400).
+	CodeBudgetTooLarge = "budget_too_large"
+	// CodeQueueFull: the bounded queue is saturated; retry after the
+	// Retry-After header's delay (HTTP 429).
+	CodeQueueFull = "queue_full"
+	// CodeDraining: the server is shutting down and accepts no new work
+	// (HTTP 503).
+	CodeDraining = "draining"
+	// CodeNotFound: no such job or result (HTTP 404).
+	CodeNotFound = "not_found"
+	// CodeInternal: unexpected server-side failure (HTTP 500).
+	CodeInternal = "internal"
+)
+
+// ErrorDetail is the machine-readable error payload.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// ErrorEnvelope is the JSON body of every non-2xx response.
+type ErrorEnvelope struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Error is the client-side form of an API error response.
+type Error struct {
+	StatusCode int    // HTTP status
+	Code       string // one of the Code* constants
+	Message    string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s (%s, http %d)", e.Message, e.Code, e.StatusCode)
+}

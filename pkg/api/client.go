@@ -1,0 +1,189 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a thin, dependency-free client for the eccsimd v1 API. The
+// zero-ish value from NewClient is ready to use; methods are safe for
+// concurrent use.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8087".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient when nil.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL (trailing slash
+// tolerated).
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Submit posts an experiment config. A cache hit returns Cached=true with
+// no job; otherwise poll (or Wait on) the returned JobID.
+func (c *Client) Submit(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var out SubmitResponse
+	err := c.do(ctx, http.MethodPost, "/v1/experiments", req, &out)
+	return out, err
+}
+
+// Job fetches a job's current status.
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Cancel asks the server to cancel a job. A queued job becomes terminal
+// immediately; a running job's engine is interrupted at its next context
+// checkpoint (milliseconds). The returned status is the state at response
+// time — poll or Wait to observe the terminal "canceled". Canceling an
+// already-terminal job is a no-op returning its final state.
+func (c *Client) Cancel(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Result fetches a content-addressed result document.
+func (c *Client) Result(ctx context.Context, hash string) (Result, error) {
+	var out Result
+	err := c.do(ctx, http.MethodGet, "/v1/results/"+hash, nil, &out)
+	return out, err
+}
+
+// ResultBytes fetches the raw result document — the byte-identical form
+// the determinism contract is stated over.
+func (c *Client) ResultBytes(ctx context.Context, hash string) ([]byte, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/results/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Experiments lists the registered experiment ids.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out ExperimentList
+	if err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// Wait polls a job every poll interval (default 50ms when ≤ 0) until it
+// reaches a terminal state or ctx is done. The terminal snapshot is
+// returned even for failed/canceled jobs; only transport and ctx errors
+// are errors.
+func (c *Client) Wait(ctx context.Context, jobID string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		js, err := c.Job(ctx, jobID)
+		if err != nil {
+			return JobStatus{}, err
+		}
+		if Terminal(js.Status) {
+			return js, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return js, ctx.Err()
+		}
+	}
+}
+
+// Run is the submit→wait→fetch convenience: it returns the Result document
+// whether it was cached or freshly computed, and surfaces a failed or
+// canceled job as an error.
+func (c *Client) Run(ctx context.Context, req SubmitRequest, poll time.Duration) (Result, error) {
+	sr, err := c.Submit(ctx, req)
+	if err != nil {
+		return Result{}, err
+	}
+	hash := sr.ResultHash
+	if !sr.Cached {
+		js, err := c.Wait(ctx, sr.JobID, poll)
+		if err != nil {
+			return Result{}, err
+		}
+		if js.Status != StatusDone {
+			return Result{}, fmt.Errorf("api: job %s finished %s: %s", js.ID, js.Status, js.Error)
+		}
+		if js.ResultHash != "" {
+			hash = js.ResultHash
+		}
+	}
+	return c.Result(ctx, hash)
+}
+
+// do sends one request and decodes the 2xx body into out (skipped when out
+// is nil); non-2xx responses decode the error envelope into *Error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	resp, err := c.send(ctx, method, path, in)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decode %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+func (c *Client) send(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("api: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return hc.Do(req)
+}
+
+// decodeError turns a non-2xx response into an *Error, falling back to the
+// raw body when the envelope doesn't parse (e.g. a proxy's HTML).
+func decodeError(resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env ErrorEnvelope
+	if err := json.Unmarshal(b, &env); err == nil && env.Error.Code != "" {
+		return &Error{StatusCode: resp.StatusCode, Code: env.Error.Code, Message: env.Error.Message}
+	}
+	return &Error{StatusCode: resp.StatusCode, Code: CodeInternal,
+		Message: fmt.Sprintf("unexpected response: %s", strings.TrimSpace(string(b)))}
+}
