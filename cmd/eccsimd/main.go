@@ -10,6 +10,9 @@
 //	    -d '{"experiment":"fig8","trials":2000,"seed":1}'   # → job id + result hash
 //	curl -s localhost:8344/v1/jobs/job-1                    # → poll status
 //	curl -s localhost:8344/v1/results/<hash>                # → result document
+//	curl -s localhost:8344/v1/sweeps \
+//	    -d '{"base":{"experiment":"fig8"},"axes":{"seed":[1,2,3]}}'  # → batched grid
+//	curl -s 'localhost:8344/v1/sweeps/sweep-1?wait=10s'     # → long-poll progress
 //	curl -s localhost:8344/metrics                          # → Prometheus text
 //
 // SIGTERM/SIGINT drains gracefully: the listener stops, queued and running
@@ -43,6 +46,7 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "directory for the on-disk result cache (empty: in-memory only)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "on-disk cache byte budget; LRU entries are evicted past it (0: unbounded)")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job execution deadline, also the ceiling for per-request timeout_seconds (0: none)")
+	maxSweepPoints := flag.Int("max-sweep-points", serve.MaxSweepPointsDefault, "maximum points one sweep may expand to")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs before canceling stragglers")
 	progress := flag.Bool("progress", false, "emit per-experiment progress tickers on stderr")
 	flag.Parse()
@@ -50,7 +54,7 @@ func main() {
 	for _, f := range []struct {
 		name string
 		n    int
-	}{{"-workers", *workers}, {"-job-workers", *jobWorkers}, {"-queue-cap", *queueCap}} {
+	}{{"-workers", *workers}, {"-job-workers", *jobWorkers}, {"-queue-cap", *queueCap}, {"-max-sweep-points", *maxSweepPoints}} {
 		if err := cliflags.CheckPositive(f.name, f.n); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -62,12 +66,13 @@ func main() {
 		os.Exit(2)
 	}
 	opts := serve.Options{
-		Workers:       *workers,
-		JobWorkers:    *jobWorkers,
-		QueueCap:      *queueCap,
-		CacheDir:      *cacheDir,
-		CacheMaxBytes: *cacheMaxBytes,
-		JobTimeout:    *jobTimeout,
+		Workers:        *workers,
+		JobWorkers:     *jobWorkers,
+		QueueCap:       *queueCap,
+		CacheDir:       *cacheDir,
+		CacheMaxBytes:  *cacheMaxBytes,
+		JobTimeout:     *jobTimeout,
+		MaxSweepPoints: *maxSweepPoints,
 	}
 	if *progress {
 		opts.Progress = os.Stderr

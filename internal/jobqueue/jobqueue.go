@@ -63,6 +63,7 @@ type Snapshot struct {
 // job is the internal record; all fields past task are guarded by Queue.mu.
 type job struct {
 	id      string
+	group   string // "" = ungrouped; see SubmitGroup / CancelGroup
 	task    Task
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -86,10 +87,12 @@ type Counts struct {
 type Queue struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
+	groups   map[string][]*job
 	closed   bool
 	nextID   uint64
 	inflight int
 	counts   Counts
+	change   chan struct{} // closed and replaced on every status transition
 
 	ch         chan *job
 	baseCtx    context.Context
@@ -108,21 +111,46 @@ func New(capacity, workers int) *Queue {
 	}
 	q := &Queue{
 		jobs:     map[string]*job{},
+		groups:   map[string][]*job{},
 		ch:       make(chan *job, capacity),
+		change:   make(chan struct{}),
 		poolDone: make(chan struct{}),
 	}
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
 	go func() {
 		defer close(q.poolDone)
-		// The pool is a parallel.ForEach with one long-lived loop per
-		// worker slot. Task panics are captured per job inside run, so the
-		// fan-out itself never errors and a bad job cannot kill the pool.
-		_ = parallel.ForEach(context.Background(), workers, workers, func(context.Context, int) error {
-			for j := range q.ch {
-				q.run(j)
+		// The pool is a parallel.ForEach with one long-lived loop per worker
+		// slot, running under the queue's base context so a forced Drain
+		// cancels workers through the same plumbing that cancels the jobs.
+		// Task panics are captured per job inside run, so the fan-out itself
+		// never errors and a bad job cannot kill the pool.
+		_ = parallel.ForEach(q.baseCtx, workers, workers, func(ctx context.Context, _ int) error {
+			for {
+				select {
+				case j, ok := <-q.ch:
+					if !ok {
+						return nil
+					}
+					q.run(j)
+				case <-ctx.Done():
+					// Forced drain: stop executing new work. The buffer is
+					// already closed (Drain closes before canceling), so this
+					// sweep terminates; every remaining job's context is a
+					// child of the canceled base context, so run marks it
+					// canceled without invoking the task.
+					for j := range q.ch {
+						q.run(j)
+					}
+					return nil
+				}
 			}
-			return nil
 		})
+		// If cancellation raced the pool's startup, ForEach may have exited
+		// before any worker ran its loop; sweep whatever is left so every
+		// accepted job still reaches a terminal state.
+		for j := range q.ch {
+			q.run(j)
+		}
 	}()
 	return q
 }
@@ -139,6 +167,13 @@ func (q *Queue) Submit(task Task) (string, error) {
 // StatusFailed with context.DeadlineExceeded, distinct from an explicit
 // Cancel's StatusCanceled. A timeout of 0 means no deadline.
 func (q *Queue) SubmitTimeout(task Task, timeout time.Duration) (string, error) {
+	return q.SubmitGroup("", task, timeout)
+}
+
+// SubmitGroup is SubmitTimeout for a job tagged with a group name: every
+// non-terminal job of a group can be canceled in one call with CancelGroup
+// (the daemon uses one group per sweep). An empty group means ungrouped.
+func (q *Queue) SubmitGroup(group string, task Task, timeout time.Duration) (string, error) {
 	q.mu.Lock()
 	if q.closed {
 		q.mu.Unlock()
@@ -147,11 +182,14 @@ func (q *Queue) SubmitTimeout(task Task, timeout time.Duration) (string, error) 
 	q.nextID++
 	id := fmt.Sprintf("job-%d", q.nextID)
 	ctx, cancel := context.WithCancel(q.baseCtx)
-	j := &job{id: id, task: task, ctx: ctx, cancel: cancel, timeout: timeout, status: StatusQueued, created: time.Now()}
+	j := &job{id: id, group: group, task: task, ctx: ctx, cancel: cancel, timeout: timeout, status: StatusQueued, created: time.Now()}
 	// The send happens under the lock so it cannot race Close's close(ch).
 	select {
 	case q.ch <- j:
 		q.jobs[id] = j
+		if group != "" {
+			q.groups[group] = append(q.groups[group], j)
+		}
 		q.counts.Submitted++
 		q.mu.Unlock()
 		return id, nil
@@ -179,6 +217,7 @@ func (q *Queue) run(j *job) {
 	j.status = StatusRunning
 	j.started = time.Now()
 	q.inflight++
+	q.bumpLocked()
 	if j.timeout > 0 {
 		// The deadline clock starts here, not at Submit, so a job that sat
 		// in the buffer still gets its full budget. Replacing j.ctx under mu
@@ -219,6 +258,23 @@ func (q *Queue) finishLocked(j *job, s Status, res any, errMsg string) {
 	case StatusCanceled:
 		q.counts.Canceled++
 	}
+	q.bumpLocked()
+}
+
+// bumpLocked wakes everyone blocked on Changed (mu held).
+func (q *Queue) bumpLocked() {
+	close(q.change)
+	q.change = make(chan struct{})
+}
+
+// Changed returns a channel that is closed at the next job status
+// transition (queued→running or any terminal move). Grab the channel, read
+// whatever state is of interest, then wait on it: the close-and-replace
+// discipline means no transition between the grab and the wait is lost.
+func (q *Queue) Changed() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.change
 }
 
 // runTask invokes the task, converting a panic into an error so one bad
@@ -263,6 +319,31 @@ func (q *Queue) Cancel(id string) bool {
 	q.mu.Unlock()
 	j.cancel()
 	return true
+}
+
+// CancelGroup cancels every non-terminal job submitted under group, exactly
+// as per-job Cancel would: queued jobs become terminal immediately, running
+// jobs have their contexts canceled. It returns how many jobs it canceled.
+func (q *Queue) CancelGroup(group string) int {
+	if group == "" {
+		return 0
+	}
+	q.mu.Lock()
+	var hit []*job
+	for _, j := range q.groups[group] {
+		if j.status.Terminal() {
+			continue
+		}
+		if j.status == StatusQueued {
+			q.finishLocked(j, StatusCanceled, nil, "canceled before start")
+		}
+		hit = append(hit, j)
+	}
+	q.mu.Unlock()
+	for _, j := range hit {
+		j.cancel()
+	}
+	return len(hit)
 }
 
 // Depth returns the number of jobs waiting in the buffer.

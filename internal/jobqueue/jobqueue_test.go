@@ -319,6 +319,123 @@ func TestSubmitTimeoutClockStartsAtRun(t *testing.T) {
 	}
 }
 
+// TestCancelGroup: canceling a group takes down its running and queued
+// members in one call, leaves ungrouped work alone, and is idempotent.
+func TestCancelGroup(t *testing.T) {
+	q := New(8, 1)
+	defer q.Drain(context.Background())
+	started := make(chan struct{})
+	running, err := q.SubmitGroup("sweep-1", func(ctx context.Context) (any, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the single worker now holds the running member
+	var ran atomic.Bool
+	queued, err := q.SubmitGroup("sweep-1", func(context.Context) (any, error) { ran.Store(true); return nil, nil }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := q.Submit(func(context.Context) (any, error) { return "bystander", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := q.CancelGroup("sweep-1"); n != 2 {
+		t.Fatalf("CancelGroup = %d, want 2", n)
+	}
+	if s := waitTerminal(t, q, running); s.Status != StatusCanceled {
+		t.Errorf("running member status %s, want canceled", s.Status)
+	}
+	if s := waitTerminal(t, q, queued); s.Status != StatusCanceled {
+		t.Errorf("queued member status %s, want canceled", s.Status)
+	}
+	if ran.Load() {
+		t.Error("canceled queued member still executed")
+	}
+	if s := waitTerminal(t, q, other); s.Status != StatusDone || s.Result != "bystander" {
+		t.Errorf("ungrouped job %+v, want done/bystander", s)
+	}
+	if n := q.CancelGroup("sweep-1"); n != 0 {
+		t.Errorf("second CancelGroup = %d, want 0 (all members terminal)", n)
+	}
+	if n := q.CancelGroup(""); n != 0 {
+		t.Errorf(`CancelGroup("") = %d, want 0`, n)
+	}
+	if n := q.CancelGroup("no-such-group"); n != 0 {
+		t.Errorf("CancelGroup(unknown) = %d, want 0", n)
+	}
+}
+
+// TestForcedDrainReleasesBlockedPool is the regression test for the pool
+// wiring bug: the worker pool used to run under context.Background(), so a
+// task blocked on anything but its own job context could hold a pool
+// goroutine past a forced Drain forever. With the pool on the queue's base
+// context, Drain's force cancels the job context the task is blocked on and
+// the pool exits.
+func TestForcedDrainReleasesBlockedPool(t *testing.T) {
+	q := New(4, 2)
+	id, err := q.Submit(func(ctx context.Context) (any, error) {
+		<-ctx.Done() // only cancellation can release this task
+		return nil, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the worker to hold the job so the force hits a running task.
+	for i := 0; ; i++ {
+		if s, _ := q.Get(id); s.Status == StatusRunning {
+			break
+		}
+		if i > 5000 {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired from the start: Drain must force immediately
+	done := make(chan error, 1)
+	go func() { done <- q.Drain(ctx) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Drain err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Drain never returned: pool goroutine leaked behind a blocked task")
+	}
+	if s, _ := q.Get(id); s.Status != StatusCanceled {
+		t.Errorf("blocked job status %s, want canceled", s.Status)
+	}
+}
+
+// TestChangedSignalsTransitions pins the close-and-replace discipline: a
+// channel grabbed before a transition is closed by it, and a channel grabbed
+// after the last transition stays open.
+func TestChangedSignalsTransitions(t *testing.T) {
+	q := New(4, 1)
+	defer q.Drain(context.Background())
+	ch := q.Changed()
+	id, err := q.Submit(func(context.Context) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Changed channel never closed after a job transition")
+	}
+	waitTerminal(t, q, id)
+	select {
+	case <-q.Changed():
+		t.Fatal("Changed channel grabbed after the last transition is already closed")
+	default:
+	}
+}
+
 // TestCancelBeatsTimeout: an explicit cancel of a deadline-carrying job
 // still reports StatusCanceled.
 func TestCancelBeatsTimeout(t *testing.T) {

@@ -23,6 +23,15 @@ type metrics struct {
 	// accepted DELETE /v1/jobs cancellations.
 	rejectedFull   atomic.Uint64
 	cancelRequests atomic.Uint64
+
+	// Sweep counters: sweeps accepted, points they expanded to, points
+	// served from cache at submission, points computed by sweep jobs, and
+	// DELETE /v1/sweeps cancellations.
+	sweepsSubmitted     atomic.Uint64
+	sweepPointsExpanded atomic.Uint64
+	sweepPointsCached   atomic.Uint64
+	sweepPointsComputed atomic.Uint64
+	sweepCancels        atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -39,6 +48,30 @@ func (m *metrics) observe(experiment string, ms float64) {
 		m.latency[experiment] = h
 	}
 	h.Add(ms)
+}
+
+// meanLatencyMS returns the mean observed compute latency for one
+// experiment, or — for experiment "" — across all experiments. 0 means no
+// observations yet.
+func (m *metrics) meanLatencyMS(experiment string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if experiment != "" {
+		if h, ok := m.latency[experiment]; ok {
+			return h.Mean()
+		}
+		return 0
+	}
+	var sum float64
+	var n uint64
+	for _, h := range m.latency {
+		sum += h.Sum
+		n += h.N
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // handleMetrics renders the Prometheus text exposition format. Everything
@@ -67,6 +100,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "eccsimd_jobs_total{status=\"canceled\"} %d\n", qc.Canceled)
 	counter("eccsimd_rejected_full_total", "Submissions rejected with 429 because the queue was saturated.", s.metrics.rejectedFull.Load())
 	counter("eccsimd_cancel_requests_total", "Accepted DELETE /v1/jobs cancellations.", s.metrics.cancelRequests.Load())
+
+	counter("eccsimd_sweeps_total", "Sweeps accepted via POST /v1/sweeps.", s.metrics.sweepsSubmitted.Load())
+	counter("eccsimd_sweep_points_expanded_total", "Points the accepted sweeps expanded to.", s.metrics.sweepPointsExpanded.Load())
+	counter("eccsimd_sweep_points_cached_total", "Sweep points served from the result cache at submission (no job).", s.metrics.sweepPointsCached.Load())
+	counter("eccsimd_sweep_points_computed_total", "Sweep points computed by their own job (cache misses).", s.metrics.sweepPointsComputed.Load())
+	counter("eccsimd_sweep_cancel_requests_total", "DELETE /v1/sweeps cancellations.", s.metrics.sweepCancels.Load())
 
 	cs := s.cache.Stats()
 	counter("eccsimd_cache_hits_total", "Requests served from the result cache (memory or disk).", cs.Hits)

@@ -32,7 +32,9 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
+	"sync"
 	"time"
 
 	"eccparity/internal/jobqueue"
@@ -50,8 +52,18 @@ const (
 	MaxTrials = 1_000_000
 )
 
-// retryAfterSeconds is the backpressure hint sent with 429 responses.
-const retryAfterSeconds = 1
+// The 429 Retry-After hint is derived from observed compute latency (a
+// queue slot frees roughly one mean compute time from now), clamped to
+// these bounds so a cold server still says something sane and a pathological
+// histogram cannot tell clients to go away for hours.
+const (
+	retryAfterFloorSeconds   = 1
+	retryAfterCeilingSeconds = 60
+)
+
+// MaxSweepPointsDefault caps how many points one sweep may expand to when
+// Options.MaxSweepPoints is unset.
+const MaxSweepPointsDefault = 256
 
 // Options configures a Server.
 type Options struct {
@@ -72,6 +84,9 @@ type Options struct {
 	// job start, and the ceiling for per-request timeout_seconds overrides
 	// (0 = no default deadline).
 	JobTimeout time.Duration
+	// MaxSweepPoints caps how many points one sweep may expand to
+	// (default MaxSweepPointsDefault).
+	MaxSweepPoints int
 	// Progress receives grid/campaign progress tickers (nil = silent).
 	Progress io.Writer
 }
@@ -83,6 +98,13 @@ type Server struct {
 	cache   *resultcache.Cache
 	metrics *metrics
 	mux     *http.ServeMux
+
+	// Sweep registry: a sweep is immutable after registration (its point
+	// list and job ids are fixed at submit); live point status is read from
+	// the queue on demand, so sweepMu only guards the map itself.
+	sweepMu   sync.Mutex
+	sweeps    map[string]*sweepRec
+	nextSweep uint64
 }
 
 // New builds a Server and starts its worker pool.
@@ -93,6 +115,9 @@ func New(o Options) (*Server, error) {
 	if o.QueueCap <= 0 {
 		o.QueueCap = 16
 	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = MaxSweepPointsDefault
+	}
 	cache, err := resultcache.New(o.CacheDir, o.CacheMaxBytes)
 	if err != nil {
 		return nil, err
@@ -102,6 +127,7 @@ func New(o Options) (*Server, error) {
 		queue:   jobqueue.New(o.QueueCap, o.JobWorkers),
 		cache:   cache,
 		metrics: newMetrics(),
+		sweeps:  map[string]*sweepRec{},
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
@@ -109,6 +135,9 @@ func New(o Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepGet)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleSweepCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -174,26 +203,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	exp := req.Experiment
-	id, err := s.queue.SubmitTimeout(func(ctx context.Context) (any, error) {
-		start := time.Now()
-		_, hit, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
-			return s.compute(ctx, key, exp, p)
-		})
-		if err != nil {
-			return nil, err
-		}
-		if !hit {
-			s.metrics.observe(exp, float64(time.Since(start).Nanoseconds())/1e6)
-		}
-		return key, nil
-	}, s.effectiveTimeout(req.TimeoutSeconds))
+	id, err := s.queue.SubmitTimeout(s.pointTask(req.Experiment, p, key, false), s.effectiveTimeout(req.TimeoutSeconds))
 	switch {
 	case errors.Is(err, jobqueue.ErrFull):
-		// Backpressure, not failure: the client should retry after a beat.
-		s.metrics.rejectedFull.Add(1)
-		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
-		httpError(w, http.StatusTooManyRequests, api.CodeQueueFull, "queue full, retry later")
+		s.reject429(w, req.Experiment)
 		return
 	case errors.Is(err, jobqueue.ErrClosed):
 		httpError(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining")
@@ -203,6 +216,57 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: id, Status: api.StatusQueued, ResultHash: key})
+}
+
+// pointTask builds the queue task that computes one (experiment, params)
+// result into the cache under key. sweepPoint tags the sweep-point compute
+// counter on top of the shared latency histogram.
+func (s *Server) pointTask(experiment string, p report.Params, key string, sweepPoint bool) jobqueue.Task {
+	return func(ctx context.Context) (any, error) {
+		start := time.Now()
+		_, hit, err := s.cache.GetOrCompute(ctx, key, func(ctx context.Context) ([]byte, error) {
+			return s.compute(ctx, key, experiment, p)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !hit {
+			s.metrics.observe(experiment, float64(time.Since(start).Nanoseconds())/1e6)
+			if sweepPoint {
+				s.metrics.sweepPointsComputed.Add(1)
+			}
+		}
+		return key, nil
+	}
+}
+
+// reject429 answers a saturated-queue submission: backpressure, not
+// failure — the client should retry after the hinted delay.
+func (s *Server) reject429(w http.ResponseWriter, experiment string) {
+	s.metrics.rejectedFull.Add(1)
+	w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterFor(experiment)))
+	httpError(w, http.StatusTooManyRequests, api.CodeQueueFull, "queue full, retry later")
+}
+
+// retryAfterFor derives the Retry-After hint in whole seconds from observed
+// compute latency: a queue slot frees roughly one mean compute time from
+// now. The submitted experiment's own histogram mean is used first, the
+// all-experiment mean as fallback, and the result is clamped to the
+// floor/ceiling so a cold server hints 1s and a degenerate histogram cannot
+// push clients out for hours.
+func (s *Server) retryAfterFor(experiment string) int {
+	ms := s.metrics.meanLatencyMS(experiment)
+	if ms <= 0 {
+		ms = s.metrics.meanLatencyMS("")
+	}
+	secs := int(math.Ceil(ms / 1000))
+	if secs < retryAfterFloorSeconds {
+		return retryAfterFloorSeconds
+	}
+	if secs > retryAfterCeilingSeconds {
+		return retryAfterCeilingSeconds
+	}
+	return secs
 }
 
 // effectiveTimeout resolves a request's timeout_seconds against the
@@ -258,11 +322,21 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// jobStatus converts a queue snapshot to its wire form.
+// jobStatus converts a queue snapshot to its wire form. Zero Started and
+// Finished times mean "not yet" and are omitted on the wire (nil pointers)
+// rather than serialized as 0001-01-01T00:00:00Z.
 func jobStatus(snap jobqueue.Snapshot) api.JobStatus {
 	js := api.JobStatus{
 		ID: snap.ID, Status: string(snap.Status), Error: snap.Error,
-		Created: snap.Created, Started: snap.Started, Finished: snap.Finished,
+		Created: snap.Created,
+	}
+	if !snap.Started.IsZero() {
+		t := snap.Started
+		js.Started = &t
+	}
+	if !snap.Finished.IsZero() {
+		t := snap.Finished
+		js.Finished = &t
 	}
 	if hash, ok := snap.Result.(string); ok {
 		js.ResultHash = hash

@@ -1,0 +1,283 @@
+package serve
+
+// Sweep endpoints: the paper's headline figures are parameter grids — the
+// same experiment across channel counts, ECC schemes, and fault-rate axes —
+// so the daemon accepts the whole grid as one request. POST /v1/sweeps
+// expands base × axes server-side (internal/sim/report.ExpandSweep), runs
+// every point as its own job on the shared bounded queue, and content-
+// addresses every point individually in the result cache: overlapping
+// sweeps and re-runs hit cache per point, not per sweep. Admission is
+// all-or-nothing — if the queue cannot hold every uncached point, the
+// already-submitted ones are canceled and the whole sweep gets the same
+// 429 backpressure a single submission would.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"eccparity/internal/jobqueue"
+	"eccparity/internal/resultcache"
+	"eccparity/internal/sim"
+	"eccparity/internal/sim/report"
+	"eccparity/pkg/api"
+)
+
+// maxSweepWait caps how long one GET /v1/sweeps/{id}?wait= request may hold
+// its connection; clients long-poll in rounds.
+const maxSweepWait = 60 * time.Second
+
+// sweepPointRec is one expanded point's immutable record: its config, its
+// content address, and — unless it was served from cache at submission —
+// the job computing it.
+type sweepPointRec struct {
+	experiment string
+	params     report.Params
+	hash       string
+	jobID      string // "" = cache hit at submit, no job
+}
+
+// sweepRec is the aggregate object behind /v1/sweeps/{id}. Immutable after
+// registration; live status is derived from the queue per read.
+type sweepRec struct {
+	id      string
+	created time.Time
+	points  []sweepPointRec
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req api.SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "invalid request body: %v", err)
+		return
+	}
+	b := req.Base
+	if b.Cycles < 0 || b.Warmup < 0 || b.Trials < 0 || b.TimeoutSeconds < 0 {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "base cycles, warmup, trials and timeout_seconds must be non-negative (zero selects the default)")
+		return
+	}
+	points, err := report.ExpandSweep(b.Experiment,
+		report.Params{Cycles: b.Cycles, Warmup: b.Warmup, Trials: b.Trials, Seed: b.Seed, CSV: b.CSV},
+		report.SweepAxes{
+			Experiments: req.Axes.Experiment,
+			Cycles:      req.Axes.Cycles,
+			Warmup:      req.Axes.Warmup,
+			Trials:      req.Axes.Trials,
+			Seeds:       req.Axes.Seed,
+		}, s.opts.MaxSweepPoints)
+	if err != nil {
+		var ce *sim.ConfigError
+		code, status := api.CodeInvalidRequest, http.StatusBadRequest
+		if errors.As(err, &ce) {
+			switch ce.Field {
+			case "experiment":
+				code = api.CodeUnknownExperiment
+			case "axes":
+				code = api.CodeBudgetTooLarge
+			}
+		}
+		httpError(w, status, code, "invalid sweep: %v", err)
+		return
+	}
+	for i, pt := range points {
+		if pt.Params.Cycles > MaxCycles || pt.Params.Warmup > MaxWarmup || pt.Params.Trials > MaxTrials {
+			httpError(w, http.StatusBadRequest, api.CodeBudgetTooLarge,
+				"point %d (%s) budget too large (max cycles %d, warmup %d, trials %d)",
+				i, pt.Experiment, MaxCycles, MaxWarmup, MaxTrials)
+			return
+		}
+	}
+
+	s.sweepMu.Lock()
+	s.nextSweep++
+	id := fmt.Sprintf("sweep-%d", s.nextSweep)
+	s.sweepMu.Unlock()
+
+	timeout := s.effectiveTimeout(b.TimeoutSeconds)
+	recs := make([]sweepPointRec, 0, len(points))
+	cached := 0
+	for _, pt := range points {
+		key, err := resultcache.Key(canonicalConfig{Experiment: pt.Experiment, Params: pt.Params})
+		if err != nil {
+			s.queue.CancelGroup(id)
+			httpError(w, http.StatusInternalServerError, api.CodeInternal, "hashing config: %v", err)
+			return
+		}
+		rec := sweepPointRec{experiment: pt.Experiment, params: pt.Params, hash: key}
+		if _, ok := s.cache.Get(key); ok {
+			cached++
+			recs = append(recs, rec)
+			continue
+		}
+		jobID, err := s.queue.SubmitGroup(id, s.pointTask(pt.Experiment, pt.Params, key, true), timeout)
+		if err != nil {
+			// All-or-nothing admission: roll the partial sweep back so a 429
+			// leaves nothing of it running.
+			s.queue.CancelGroup(id)
+			switch {
+			case errors.Is(err, jobqueue.ErrFull):
+				s.reject429(w, pt.Experiment)
+			case errors.Is(err, jobqueue.ErrClosed):
+				httpError(w, http.StatusServiceUnavailable, api.CodeDraining, "server is draining")
+			default:
+				httpError(w, http.StatusInternalServerError, api.CodeInternal, "submit sweep point: %v", err)
+			}
+			return
+		}
+		rec.jobID = jobID
+		recs = append(recs, rec)
+	}
+
+	sw := &sweepRec{id: id, created: time.Now(), points: recs}
+	s.sweepMu.Lock()
+	s.sweeps[id] = sw
+	s.sweepMu.Unlock()
+	s.metrics.sweepsSubmitted.Add(1)
+	s.metrics.sweepPointsExpanded.Add(uint64(len(recs)))
+	s.metrics.sweepPointsCached.Add(uint64(cached))
+
+	st := s.sweepStatus(sw)
+	code := http.StatusAccepted
+	if api.Terminal(st.Status) {
+		// Every point came from cache: the sweep is done at submission.
+		code = http.StatusOK
+	}
+	writeJSON(w, code, st)
+}
+
+// lookupSweep returns the registered sweep or nil.
+func (s *Server) lookupSweep(id string) *sweepRec {
+	s.sweepMu.Lock()
+	defer s.sweepMu.Unlock()
+	return s.sweeps[id]
+}
+
+// sweepStatus derives a sweep's wire status from the live queue: cached
+// points are done by construction, everything else reports its job's
+// current state.
+func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
+	st := api.SweepStatus{
+		ID: sw.id, Created: sw.created,
+		Progress: api.SweepProgress{Total: len(sw.points)},
+		Points:   make([]api.SweepPoint, 0, len(sw.points)),
+	}
+	for i, rec := range sw.points {
+		pt := api.SweepPoint{
+			Index: i, Experiment: rec.experiment, ResultHash: rec.hash,
+			Params: api.Params{
+				Cycles: rec.params.Cycles, Warmup: rec.params.Warmup,
+				Trials: rec.params.Trials, Seed: rec.params.Seed, CSV: rec.params.CSV,
+			},
+		}
+		if rec.jobID == "" {
+			pt.Status, pt.Cached = api.StatusDone, true
+			st.Progress.Done++
+			st.Progress.Cached++
+		} else if snap, ok := s.queue.Get(rec.jobID); !ok {
+			// Unreachable while jobs are never evicted; stated for safety.
+			pt.Status, pt.Error = api.StatusFailed, "job record missing"
+			st.Progress.Failed++
+		} else {
+			pt.JobID = rec.jobID
+			pt.Status, pt.Error = string(snap.Status), snap.Error
+			switch snap.Status {
+			case jobqueue.StatusQueued:
+				st.Progress.Queued++
+			case jobqueue.StatusRunning:
+				st.Progress.Running++
+			case jobqueue.StatusDone:
+				st.Progress.Done++
+			case jobqueue.StatusFailed:
+				st.Progress.Failed++
+			case jobqueue.StatusCanceled:
+				st.Progress.Canceled++
+			}
+		}
+		st.Points = append(st.Points, pt)
+	}
+	p := st.Progress
+	switch {
+	case p.Done+p.Failed+p.Canceled < p.Total:
+		st.Status = api.StatusRunning
+	case p.Canceled > 0:
+		st.Status = api.StatusCanceled
+	case p.Failed > 0:
+		st.Status = api.StatusFailed
+	default:
+		st.Status = api.StatusDone
+	}
+	return st
+}
+
+// handleSweepGet serves GET /v1/sweeps/{id}. Without ?wait= it answers
+// immediately. With ?wait=<duration> it long-polls: the response is held
+// until a point reaches a terminal state (relative to the request's entry
+// snapshot), the sweep turns terminal, or the wait elapses — so a client
+// streaming point completions costs one request per step, not a poll spin.
+func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(r.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	terminalCount := func(st api.SweepStatus) int {
+		return st.Progress.Done + st.Progress.Failed + st.Progress.Canceled
+	}
+	st := s.sweepStatus(sw)
+	waitStr := r.URL.Query().Get("wait")
+	if waitStr == "" {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	wait, err := time.ParseDuration(waitStr)
+	if err != nil || wait < 0 {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "wait must be a non-negative duration (e.g. 5s): got %q", waitStr)
+		return
+	}
+	if wait > maxSweepWait {
+		wait = maxSweepWait
+	}
+	initial := terminalCount(st)
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	expired := false
+	for !expired && !api.Terminal(st.Status) && terminalCount(st) == initial {
+		// Grab the change channel before re-reading status: a transition
+		// between the read and the wait closes the channel we already hold,
+		// so no completion can slip through unobserved.
+		ch := s.queue.Changed()
+		if st = s.sweepStatus(sw); api.Terminal(st.Status) || terminalCount(st) != initial {
+			break
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			expired = true
+		case <-r.Context().Done():
+			return
+		}
+		st = s.sweepStatus(sw)
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSweepCancel implements DELETE /v1/sweeps/{id}: every non-terminal
+// point is canceled through the group plumbing — queued points end
+// immediately, running engines stop at their next context checkpoint
+// (milliseconds). Idempotent, like per-job DELETE.
+func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
+	sw := s.lookupSweep(r.PathValue("id"))
+	if sw == nil {
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if n := s.queue.CancelGroup(sw.id); n > 0 {
+		s.metrics.sweepCancels.Add(1)
+		s.metrics.cancelRequests.Add(uint64(n))
+	}
+	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
+}

@@ -1,0 +1,411 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eccparity/pkg/api"
+)
+
+// smallSweep is a 3-point seed sweep over the same reduced budget as
+// smallBody; seed 5 is exactly smallBody's config, so a prior single
+// submission makes that point a cache hit at sweep submission.
+func smallSweep() api.SweepRequest {
+	return api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8},
+		Axes: api.SweepAxes{Seed: []int64{5, 6, 7}},
+	}
+}
+
+// waitSweepTerminal long-polls until the sweep's aggregate state is terminal.
+func waitSweepTerminal(t *testing.T, c *api.Client, id string) api.SweepStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := c.WaitSweep(ctx, id, 2*time.Second)
+	if err != nil {
+		t.Fatalf("sweep %s never reached a terminal state: %v", id, err)
+	}
+	return st
+}
+
+// TestSweepEndToEnd is the tentpole acceptance flow: a single submission
+// pre-warms one point, then one POST runs the whole grid with a per-point
+// cache hit, per-point results are fetchable, and an identical resubmission
+// is fully cache-served — all observable via /metrics.
+func TestSweepEndToEnd(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 2})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	// Pre-warm the seed-5 point through the single-experiment endpoint.
+	code, single := postJSON(t, ts.URL, smallBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("pre-warm submit: status %d", code)
+	}
+	pollDone(t, ts.URL, single.JobID)
+
+	st, err := c.SubmitSweep(ctx, smallSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Progress.Total != 3 {
+		t.Fatalf("sweep submit %+v, want 3 points", st)
+	}
+	if st.Progress.Cached != 1 {
+		t.Fatalf("sweep submit cached = %d, want 1 (the pre-warmed seed-5 point)", st.Progress.Cached)
+	}
+	if p0 := st.Points[0]; !p0.Cached || p0.Status != api.StatusDone || p0.JobID != "" || p0.ResultHash != single.ResultHash {
+		t.Fatalf("pre-warmed point %+v, want cached done with hash %s", p0, single.ResultHash)
+	}
+	for i, pt := range st.Points {
+		if pt.Index != i || pt.Experiment != "table3" || pt.Params.Seed != int64(5+i) || pt.ResultHash == "" {
+			t.Errorf("point %d = %+v", i, pt)
+		}
+	}
+
+	final := waitSweepTerminal(t, c, st.ID)
+	if final.Status != api.StatusDone || final.Progress.Done != 3 || final.Progress.Cached != 1 {
+		t.Fatalf("final sweep %+v, want done 3/3 with 1 cached", final.Progress)
+	}
+	// Every point's result document is fetchable and self-consistent.
+	for _, pt := range final.Points {
+		res, err := c.Result(ctx, pt.ResultHash)
+		if err != nil {
+			t.Fatalf("point %d result: %v", pt.Index, err)
+		}
+		if res.Hash != pt.ResultHash || res.Params.Seed != pt.Params.Seed {
+			t.Errorf("point %d result doc hash=%s seed=%d", pt.Index, res.Hash, res.Params.Seed)
+		}
+	}
+
+	// Identical resubmission: every point is already cached, so the sweep is
+	// terminal at submission time (HTTP 200 — checked via the raw status
+	// below) and no new jobs exist.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"base":{"experiment":"table3","cycles":2000,"warmup":200,"trials":8},"axes":{"seed":[5,6,7]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fully-cached resubmit: status %d, want 200", resp.StatusCode)
+	}
+	again, err := c.Sweep(ctx, "sweep-2", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Status != api.StatusDone || again.Progress.Cached != 3 {
+		t.Fatalf("resubmitted sweep %+v, want done with all 3 cached", again.Progress)
+	}
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	m := string(metrics)
+	for _, want := range []string{
+		"eccsimd_sweeps_total 2",
+		"eccsimd_sweep_points_expanded_total 6",
+		"eccsimd_sweep_points_cached_total 4",
+		"eccsimd_sweep_points_computed_total 2",
+		"eccsimd_sweep_cancel_requests_total 0",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, m)
+		}
+	}
+}
+
+// TestSweepCancelMidFlight reuses the cancel-latency harness: a sweep of
+// hours-long points is canceled mid-run, every point must turn terminal
+// promptly, and nothing partial may reach the cache.
+func TestSweepCancelMidFlight(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, JobWorkers: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	st, err := c.SubmitSweep(ctx, api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "fig9", Cycles: MaxCycles, Warmup: 100},
+		Axes: api.SweepAxes{Seed: []int64{31, 32, 33}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Progress.Total != 3 || st.Progress.Cached != 0 {
+		t.Fatalf("sweep submit %+v", st.Progress)
+	}
+	// Wait until a point is actually executing so the cancel interrupts a
+	// running engine, not just queued jobs.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st, err = c.Sweep(ctx, st.ID, 0); err != nil {
+			t.Fatal(err)
+		}
+		if st.Progress.Running > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no sweep point ever started running")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	canceledAt := time.Now()
+	if _, err := c.CancelSweep(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitSweepTerminal(t, c, st.ID)
+	t.Logf("sweep cancel → terminal in %v", time.Since(canceledAt))
+	if final.Status != api.StatusCanceled || final.Progress.Canceled != 3 {
+		t.Fatalf("final sweep %s %+v, want canceled 3/3", final.Status, final.Progress)
+	}
+	// The cache must hold nothing for any point.
+	for _, pt := range final.Points {
+		if code, _ := getBody(t, ts.URL+"/v1/results/"+pt.ResultHash); code != http.StatusNotFound {
+			t.Errorf("point %d result fetch after cancel: status %d, want 404", pt.Index, code)
+		}
+	}
+	// Canceling a terminal sweep is a no-op returning the final state.
+	again, err := c.CancelSweep(ctx, st.ID)
+	if err != nil || again.Status != api.StatusCanceled {
+		t.Fatalf("idempotent cancel: %v %s", err, again.Status)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "eccsimd_sweep_cancel_requests_total 1") {
+		t.Errorf("/metrics should count exactly the first sweep cancel:\n%s", metrics)
+	}
+}
+
+// TestSweepWorkerCountInvariance extends the determinism contract to whole
+// grids: the same sweep on daemons with different worker pools produces
+// byte-identical per-point results, index by index.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	req := api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8},
+		Axes: api.SweepAxes{Seed: []int64{41, 42}},
+	}
+	run := func(workers int) (api.SweepStatus, [][]byte) {
+		_, ts := newServer(t, Options{Workers: workers})
+		c := api.NewClient(ts.URL)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		st, results, err := c.RunSweep(ctx, req, 2*time.Second)
+		if err != nil {
+			t.Fatalf("workers=%d: RunSweep: %v", workers, err)
+		}
+		if len(results) != 2 {
+			t.Fatalf("workers=%d: %d results, want 2", workers, len(results))
+		}
+		raw := make([][]byte, len(st.Points))
+		for i, pt := range st.Points {
+			if results[i].Hash != pt.ResultHash {
+				t.Fatalf("workers=%d: point %d result hash %s != %s", workers, i, results[i].Hash, pt.ResultHash)
+			}
+			b, err := c.ResultBytes(ctx, pt.ResultHash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[i] = b
+		}
+		return st, raw
+	}
+	st1, raw1 := run(1)
+	st8, raw8 := run(8)
+	for i := range st1.Points {
+		if st1.Points[i].ResultHash != st8.Points[i].ResultHash {
+			t.Errorf("point %d hash differs: workers=1 %s, workers=8 %s",
+				i, st1.Points[i].ResultHash, st8.Points[i].ResultHash)
+		}
+		if !bytes.Equal(raw1[i], raw8[i]) {
+			t.Errorf("point %d result bytes differ between workers=1 and workers=8", i)
+		}
+	}
+}
+
+// TestSweepLongPoll pins the ?wait= semantics: a terminal sweep answers a
+// long wait immediately, an in-progress sweep is held no longer than the
+// wait, and malformed waits are 400s.
+func TestSweepLongPoll(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, JobWorkers: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	// An hours-long point keeps the sweep non-terminal for the whole test.
+	st, err := c.SubmitSweep(ctx, api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "fig9", Cycles: MaxCycles, Warmup: 100, Seed: 51},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Held for roughly the wait, no longer: nothing completes meanwhile.
+	startAt := time.Now()
+	held, err := c.Sweep(ctx, st.ID, 150*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(startAt); elapsed < 100*time.Millisecond || elapsed > 10*time.Second {
+		t.Errorf("long-poll on a stuck sweep returned after %v, want ≈150ms", elapsed)
+	}
+	if held.Status != api.StatusRunning {
+		t.Errorf("stuck sweep status %s, want running", held.Status)
+	}
+
+	// Cancel makes it terminal; a long wait now answers immediately.
+	if _, err := c.CancelSweep(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitSweepTerminal(t, c, st.ID)
+	startAt = time.Now()
+	if _, err := c.Sweep(ctx, st.ID, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(startAt); elapsed > 5*time.Second {
+		t.Errorf("long-poll on a terminal sweep took %v, want immediate", elapsed)
+	}
+
+	for _, wait := range []string{"abc", "-1s", "5"} {
+		code, body := getBody(t, ts.URL+"/v1/sweeps/"+st.ID+"?wait="+wait)
+		if code != http.StatusBadRequest {
+			t.Errorf("wait=%q: status %d, want 400: %s", wait, code, body)
+		}
+	}
+}
+
+// TestSweepValidation covers the rejection surface of POST /v1/sweeps.
+func TestSweepValidation(t *testing.T) {
+	_, ts := newServer(t, Options{Workers: 1, MaxSweepPoints: 4})
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.String()
+	}
+	cases := []struct {
+		name, body, wantCode string
+	}{
+		{"bad json", `{"base":`, api.CodeInvalidRequest},
+		{"unknown field", `{"base":{"experiment":"fig1"},"bogus":1}`, api.CodeInvalidRequest},
+		{"negative base trials", `{"base":{"experiment":"fig8","trials":-4}}`, api.CodeInvalidRequest},
+		{"unknown base experiment", `{"base":{"experiment":"fig99"}}`, api.CodeUnknownExperiment},
+		{"unknown axis experiment", `{"base":{"experiment":"fig8"},"axes":{"experiment":["fig8","fig99"]}}`, api.CodeUnknownExperiment},
+		{"negative axis value", `{"base":{"experiment":"fig8"},"axes":{"trials":[-1]}}`, api.CodeInvalidRequest},
+		{"duplicate points", `{"base":{"experiment":"fig8"},"axes":{"seed":[0,1]}}`, api.CodeInvalidRequest},
+		{"too many points", `{"base":{"experiment":"fig8"},"axes":{"seed":[1,2,3,4,5]}}`, api.CodeBudgetTooLarge},
+		{"point over budget", fmt.Sprintf(`{"base":{"experiment":"fig8"},"axes":{"trials":[%d]}}`, MaxTrials+1), api.CodeBudgetTooLarge},
+	}
+	for _, tc := range cases {
+		code, body := post(tc.body)
+		if code != http.StatusBadRequest || !strings.Contains(body, tc.wantCode) {
+			t.Errorf("%s: status %d body %s, want 400 with %q", tc.name, code, body, tc.wantCode)
+		}
+	}
+
+	if code, _ := getBody(t, ts.URL+"/v1/sweeps/sweep-404"); code != http.StatusNotFound {
+		t.Errorf("unknown sweep GET: status %d, want 404", code)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sweeps/sweep-404", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown sweep DELETE: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSweepQueueFullRollsBack pins all-or-nothing admission: a sweep whose
+// uncached points overflow the bounded queue is rejected with 429 and a
+// Retry-After hint, registers nothing, and leaves no stray jobs running.
+func TestSweepQueueFullRollsBack(t *testing.T) {
+	s, ts := newServer(t, Options{Workers: 1, JobWorkers: 1, QueueCap: 1})
+	c := api.NewClient(ts.URL)
+	ctx := context.Background()
+
+	// 4 hours-long points against 1 worker + 1 buffer slot: admission must
+	// overflow partway through and roll back.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(
+		`{"base":{"experiment":"fig9","cycles":100000000,"warmup":100},"axes":{"seed":[61,62,63,64]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflowing sweep: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 sweep response missing Retry-After header")
+	}
+	// Nothing registered: the allocated id is not fetchable.
+	if _, err := c.Sweep(ctx, "sweep-1", 0); err == nil {
+		t.Error("rejected sweep is fetchable")
+	}
+
+	// The rolled-back jobs were canceled; once they unwind, the queue is
+	// empty and a fresh single submission is accepted.
+	deadline := time.Now().Add(30 * time.Second)
+	for s.queue.Depth() > 0 || s.queue.InFlight() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("rolled-back sweep jobs still occupy the queue (depth %d, inflight %d)",
+				s.queue.Depth(), s.queue.InFlight())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	qc := s.queue.Stats()
+	if qc.Canceled != qc.Submitted || qc.Submitted == 0 {
+		t.Errorf("queue counts %+v: every admitted sweep point must be canceled", qc)
+	}
+	sr, err := c.Submit(ctx, api.SubmitRequest{Experiment: "fig1"})
+	if err != nil {
+		t.Fatalf("post-rollback submit: %v", err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	if js, err := c.Wait(waitCtx, sr.JobID, 2*time.Millisecond); err != nil || js.Status != api.StatusDone {
+		t.Fatalf("post-rollback job: %v %+v", err, js)
+	}
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "eccsimd_rejected_full_total 1") {
+		t.Errorf("/metrics should count the sweep rejection:\n%s", metrics)
+	}
+}
+
+// TestRetryAfterDerivation pins the Retry-After hint: derived from the
+// submitted experiment's mean compute latency, falling back to the
+// all-experiment mean, clamped to the floor and ceiling.
+func TestRetryAfterDerivation(t *testing.T) {
+	s := &Server{metrics: newMetrics()}
+	if got := s.retryAfterFor("fig8"); got != retryAfterFloorSeconds {
+		t.Errorf("cold server hint = %d, want floor %d", got, retryAfterFloorSeconds)
+	}
+	s.metrics.observe("fig8", 4200)
+	s.metrics.observe("fig8", 4800) // mean 4500ms → ceil → 5s
+	if got := s.retryAfterFor("fig8"); got != 5 {
+		t.Errorf("fig8 hint = %d, want 5", got)
+	}
+	// Unobserved experiment falls back to the all-experiment mean.
+	if got := s.retryAfterFor("table3"); got != 5 {
+		t.Errorf("fallback hint = %d, want 5 (all-experiment mean)", got)
+	}
+	// Sub-second means clamp to the floor.
+	fast := &Server{metrics: newMetrics()}
+	fast.metrics.observe("fig1", 12)
+	if got := fast.retryAfterFor("fig1"); got != retryAfterFloorSeconds {
+		t.Errorf("fast hint = %d, want floor %d", got, retryAfterFloorSeconds)
+	}
+	// Pathological histograms clamp to the ceiling.
+	slow := &Server{metrics: newMetrics()}
+	slow.metrics.observe("fig9", 1e7)
+	if got := slow.retryAfterFor("fig9"); got != retryAfterCeilingSeconds {
+		t.Errorf("slow hint = %d, want ceiling %d", got, retryAfterCeilingSeconds)
+	}
+}

@@ -1,0 +1,118 @@
+package report
+
+// Sweep expansion: the paper's headline results (Figs. 8–14) are parameter
+// grids — the same experiment evaluated across seeds, budgets, and
+// experiment ids. This file turns one base config plus per-knob axes into
+// the deterministic cross-product of fully normalized points, so callers
+// (the eccsimd sweep endpoint) get one validated work list with one
+// content-address per point. Validation failures are *sim.ConfigError, the
+// same typed error the engine's own entry points return.
+
+import (
+	"fmt"
+
+	"eccparity/internal/sim"
+)
+
+// SweepAxes lists, per knob, the values a sweep substitutes into its base
+// config. An empty axis keeps the base value; a non-empty axis contributes
+// every listed value to the cross-product.
+type SweepAxes struct {
+	Experiments []string
+	Cycles      []float64
+	Warmup      []int
+	Trials      []int
+	Seeds       []int64
+}
+
+// SweepPoint is one expanded configuration: a registered experiment id and
+// its normalized parameter identity.
+type SweepPoint struct {
+	Experiment string
+	Params     Params
+}
+
+// ExpandSweep expands base × axes into the cross-product of sweep points,
+// ordered experiment-outermost / seed-innermost (the declaration order of
+// SweepAxes), each with normalized Params. The expansion is rejected with a
+// *sim.ConfigError when an experiment id is unregistered (Field
+// "experiment"), an axis value is negative (the knob's name), the product
+// exceeds maxPoints > 0 (Field "axes"), or two points normalize to the same
+// identity (Field "points") — a duplicate would silently compute one result
+// twice or, worse, read as a bigger grid than was actually evaluated.
+func ExpandSweep(baseExperiment string, base Params, axes SweepAxes, maxPoints int) ([]SweepPoint, error) {
+	experiments := axes.Experiments
+	if len(experiments) == 0 {
+		experiments = []string{baseExperiment}
+	}
+	for _, id := range experiments {
+		if !Known(id) {
+			return nil, &sim.ConfigError{Field: "experiment", Reason: fmt.Sprintf("unknown experiment %q (axes may only name registered ids)", id)}
+		}
+	}
+	cycles := axes.Cycles
+	if len(cycles) == 0 {
+		cycles = []float64{base.Cycles}
+	}
+	warmups := axes.Warmup
+	if len(warmups) == 0 {
+		warmups = []int{base.Warmup}
+	}
+	trials := axes.Trials
+	if len(trials) == 0 {
+		trials = []int{base.Trials}
+	}
+	seeds := axes.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{base.Seed}
+	}
+	for _, v := range cycles {
+		if v < 0 {
+			return nil, &sim.ConfigError{Field: "cycles", Reason: fmt.Sprintf("axis values must be non-negative (got %g)", v)}
+		}
+	}
+	for _, v := range warmups {
+		if v < 0 {
+			return nil, &sim.ConfigError{Field: "warmup", Reason: fmt.Sprintf("axis values must be non-negative (got %d)", v)}
+		}
+	}
+	for _, v := range trials {
+		if v < 0 {
+			return nil, &sim.ConfigError{Field: "trials", Reason: fmt.Sprintf("axis values must be non-negative (got %d)", v)}
+		}
+	}
+
+	// Stepwise product so absurd axis lengths cannot overflow before the
+	// cap check fires.
+	n := 1
+	for _, k := range []int{len(experiments), len(cycles), len(warmups), len(trials), len(seeds)} {
+		n *= k
+		if maxPoints > 0 && n > maxPoints {
+			return nil, &sim.ConfigError{Field: "axes", Reason: fmt.Sprintf("sweep expands to at least %d points, max %d", n, maxPoints)}
+		}
+	}
+
+	points := make([]SweepPoint, 0, n)
+	seen := make(map[SweepPoint]int, n)
+	for _, exp := range experiments {
+		for _, cy := range cycles {
+			for _, wu := range warmups {
+				for _, tr := range trials {
+					for _, sd := range seeds {
+						p := base
+						p.Cycles, p.Warmup, p.Trials, p.Seed = cy, wu, tr, sd
+						pt := SweepPoint{Experiment: exp, Params: p.Normalized()}
+						if prev, dup := seen[pt]; dup {
+							return nil, &sim.ConfigError{Field: "points", Reason: fmt.Sprintf(
+								"points %d and %d normalize to the same config (%s seed=%d cycles=%g warmup=%d trials=%d)",
+								prev, len(points), pt.Experiment, pt.Params.Seed, pt.Params.Cycles, pt.Params.Warmup, pt.Params.Trials)}
+						}
+						seen[pt] = len(points)
+						points = append(points, pt)
+					}
+				}
+			}
+		}
+	}
+	return points, nil
+}

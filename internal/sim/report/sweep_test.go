@@ -1,0 +1,106 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"eccparity/internal/sim"
+)
+
+// configErr asserts err is a *sim.ConfigError on the given field.
+func configErr(t *testing.T, err error, field string) {
+	t.Helper()
+	var ce *sim.ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *sim.ConfigError", err, err)
+	}
+	if ce.Field != field {
+		t.Fatalf("ConfigError field = %q, want %q (err: %v)", ce.Field, field, err)
+	}
+}
+
+func TestExpandSweepCrossProduct(t *testing.T) {
+	pts, err := ExpandSweep("fig8", Params{Trials: 40}, SweepAxes{
+		Experiments: []string{"fig8", "fig9"},
+		Seeds:       []int64{1, 2, 3},
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("expanded %d points, want 6", len(pts))
+	}
+	// Declaration order: experiment outermost, seed innermost.
+	wantOrder := []struct {
+		exp  string
+		seed int64
+	}{
+		{"fig8", 1}, {"fig8", 2}, {"fig8", 3},
+		{"fig9", 1}, {"fig9", 2}, {"fig9", 3},
+	}
+	d := DefaultParams()
+	for i, pt := range pts {
+		if pt.Experiment != wantOrder[i].exp || pt.Params.Seed != wantOrder[i].seed {
+			t.Errorf("point %d = %s seed=%d, want %s seed=%d",
+				i, pt.Experiment, pt.Params.Seed, wantOrder[i].exp, wantOrder[i].seed)
+		}
+		// The base's explicit trials survive; untouched knobs normalize to
+		// the full-fidelity defaults.
+		if pt.Params.Trials != 40 || pt.Params.Cycles != d.Cycles || pt.Params.Warmup != d.Warmup {
+			t.Errorf("point %d params %+v, want trials 40 and normalized defaults", i, pt.Params)
+		}
+	}
+}
+
+func TestExpandSweepBaseOnly(t *testing.T) {
+	pts, err := ExpandSweep("table3", Params{Cycles: 2000, Warmup: 200, Trials: 8, Seed: 5}, SweepAxes{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 {
+		t.Fatalf("empty axes expanded to %d points, want 1 (the base)", len(pts))
+	}
+	if p := pts[0]; p.Experiment != "table3" || p.Params.Seed != 5 || p.Params.Cycles != 2000 {
+		t.Fatalf("base point %+v", p)
+	}
+}
+
+func TestExpandSweepUnknownExperiment(t *testing.T) {
+	_, err := ExpandSweep("fig8", Params{}, SweepAxes{Experiments: []string{"fig8", "fig99"}}, 0)
+	configErr(t, err, "experiment")
+	_, err = ExpandSweep("fig99", Params{}, SweepAxes{}, 0)
+	configErr(t, err, "experiment")
+}
+
+func TestExpandSweepNegativeAxisValues(t *testing.T) {
+	_, err := ExpandSweep("fig8", Params{}, SweepAxes{Cycles: []float64{1000, -1}}, 0)
+	configErr(t, err, "cycles")
+	_, err = ExpandSweep("fig8", Params{}, SweepAxes{Warmup: []int{-5}}, 0)
+	configErr(t, err, "warmup")
+	_, err = ExpandSweep("fig8", Params{}, SweepAxes{Trials: []int{-2}}, 0)
+	configErr(t, err, "trials")
+}
+
+func TestExpandSweepMaxPoints(t *testing.T) {
+	_, err := ExpandSweep("fig8", Params{}, SweepAxes{Seeds: []int64{1, 2, 3, 4, 5}}, 4)
+	configErr(t, err, "axes")
+	// At exactly the cap the sweep is accepted.
+	pts, err := ExpandSweep("fig8", Params{}, SweepAxes{Seeds: []int64{1, 2, 3, 4}}, 4)
+	if err != nil || len(pts) != 4 {
+		t.Fatalf("at-cap sweep: %v (%d points)", err, len(pts))
+	}
+}
+
+func TestExpandSweepRejectsDuplicatePoints(t *testing.T) {
+	// Seed 0 normalizes to seed 1, colliding with the explicit 1.
+	_, err := ExpandSweep("fig8", Params{}, SweepAxes{Seeds: []int64{0, 1}}, 0)
+	configErr(t, err, "points")
+	if !strings.Contains(err.Error(), "normalize to the same config") {
+		t.Fatalf("duplicate error %v should name the collision", err)
+	}
+	// Zero cycles normalize to the default, colliding with the explicit
+	// default value on another axis entry.
+	_, err = ExpandSweep("fig8", Params{}, SweepAxes{Cycles: []float64{0, DefaultParams().Cycles}}, 0)
+	configErr(t, err, "points")
+}

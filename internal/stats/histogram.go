@@ -44,28 +44,36 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
-// Percentile returns an upper bound of the p-th percentile (0..100): the
-// top edge of the bucket containing it.
+// Percentile returns an upper bound of the p-th percentile: the top edge
+// of the bucket containing it, never exceeding the observed maximum. p is
+// clamped to [0, 100] (a negative p would otherwise convert to a huge
+// unsigned rank); an empty histogram reports 0.
 func (h *Histogram) Percentile(p float64) float64 {
 	if h.N == 0 {
 		return 0
 	}
+	if p < 0 {
+		p = 0
+	} else if p > 100 {
+		p = 100
+	}
 	rank := uint64(math.Ceil(p / 100 * float64(h.N)))
 	if rank == 0 {
+		// p = 0: the smallest sample still lives in some bucket.
 		rank = 1
 	}
 	var seen uint64
 	for i, c := range h.Buckets {
 		seen += c
 		if seen >= rank {
-			if i == 0 {
-				return 1
-			}
 			if i == len(h.Buckets)-1 {
 				// The overflow bucket has no meaningful upper edge.
 				return h.MaxV
 			}
-			edge := math.Pow(2, float64(i))
+			edge := 1.0
+			if i > 0 {
+				edge = math.Pow(2, float64(i))
+			}
 			if edge > h.MaxV {
 				return h.MaxV
 			}

@@ -119,6 +119,42 @@ func TestHistogramPercentileMonotone(t *testing.T) {
 	}
 }
 
+// TestHistogramPercentileEdges pins the p-clamping contract: out-of-range p
+// behaves like the nearest bound (a negative p used to convert to a huge
+// unsigned rank), p=0 still lands in the smallest occupied bucket, and
+// bucket edges never exceed the observed maximum — including bucket 0's
+// edge of 1.0 over sub-1 samples.
+func TestHistogramPercentileEdges(t *testing.T) {
+	var empty Histogram
+	for _, p := range []float64{-10, 0, 50, 100, 200} {
+		if v := empty.Percentile(p); v != 0 {
+			t.Errorf("empty p%v = %v, want 0", p, v)
+		}
+	}
+
+	var h Histogram
+	for _, v := range []float64{2, 4, 8} {
+		h.Add(v)
+	}
+	if lo, p0 := h.Percentile(-5), h.Percentile(0); lo != p0 {
+		t.Errorf("p-5 = %v, want clamped to p0 = %v", lo, p0)
+	}
+	if hi, p100 := h.Percentile(200), h.Percentile(100); hi != p100 {
+		t.Errorf("p200 = %v, want clamped to p100 = %v", hi, p100)
+	}
+	if v := h.Percentile(0); v < 2 || v > 4 {
+		t.Errorf("p0 = %v, want the smallest sample's bucket edge in [2,4]", v)
+	}
+
+	var sub Histogram
+	sub.Add(0.25) // bucket 0's nominal edge is 1.0, above the observed max
+	for _, p := range []float64{0, 50, 100} {
+		if v := sub.Percentile(p); v != 0.25 {
+			t.Errorf("sub-1 sample p%v = %v, want clamped to max 0.25", p, v)
+		}
+	}
+}
+
 func TestHistogramHugeValues(t *testing.T) {
 	var h Histogram
 	h.Add(math.MaxFloat64) // must not panic or index out of range

@@ -11,6 +11,9 @@
 //	GET    /v1/jobs/{id}        JobStatus
 //	DELETE /v1/jobs/{id}        cancel a job → JobStatus
 //	GET    /v1/results/{hash}   Result document (content-addressed)
+//	POST   /v1/sweeps           SweepRequest → SweepStatus (202, or 200 when fully cached)
+//	GET    /v1/sweeps/{id}      SweepStatus; ?wait=5s long-polls for progress
+//	DELETE /v1/sweeps/{id}      cancel every non-terminal point → SweepStatus
 //
 // Errors are an envelope with a machine-readable code:
 //
@@ -75,15 +78,18 @@ type SubmitResponse struct {
 	Cached     bool   `json:"cached"`
 }
 
-// JobStatus answers GET (and DELETE) /v1/jobs/{id}.
+// JobStatus answers GET (and DELETE) /v1/jobs/{id}. Started and Finished
+// are pointers so a job that has not reached those transitions omits the
+// fields instead of serializing the zero time ("0001-01-01T00:00:00Z", the
+// shape bug this replaced); a nil pointer means "not yet".
 type JobStatus struct {
-	ID         string    `json:"id"`
-	Status     string    `json:"status"`
-	Error      string    `json:"error,omitempty"`
-	ResultHash string    `json:"result_hash,omitempty"`
-	Created    time.Time `json:"created"`
-	Started    time.Time `json:"started"`
-	Finished   time.Time `json:"finished"`
+	ID         string     `json:"id"`
+	Status     string     `json:"status"`
+	Error      string     `json:"error,omitempty"`
+	ResultHash string     `json:"result_hash,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
 }
 
 // Params is the normalized experiment identity inside a Result. Workers is
@@ -116,6 +122,70 @@ type Result struct {
 	Report     Report `json:"report"`
 }
 
+// SweepRequest is the POST /v1/sweeps body: one base config plus the axes
+// to sweep. The server expands base × axes into the cross-product of point
+// configs, runs each point as its own content-addressed job, and reports
+// the whole batch as one SweepStatus. Base.TimeoutSeconds applies to every
+// point individually.
+type SweepRequest struct {
+	Base SubmitRequest `json:"base"`
+	Axes SweepAxes     `json:"axes"`
+}
+
+// SweepAxes lists, per knob, the values to sweep. A non-empty axis replaces
+// the base value with each listed entry; an empty axis keeps the base
+// value. The sweep is the cross-product of all non-empty axes, expanded in
+// declaration order (experiment outermost, seed innermost). Points are
+// normalized before identity, so axes that collapse to duplicate configs
+// are rejected rather than silently double-computed.
+type SweepAxes struct {
+	Experiment []string  `json:"experiment,omitempty"`
+	Cycles     []float64 `json:"cycles,omitempty"`
+	Warmup     []int     `json:"warmup,omitempty"`
+	Trials     []int     `json:"trials,omitempty"`
+	Seed       []int64   `json:"seed,omitempty"`
+}
+
+// SweepPoint is one expanded configuration's live state inside a
+// SweepStatus. Cached means the point was served from the result cache at
+// sweep submission and never became a job (JobID empty, Status done); every
+// point's result — cached or computed — is fetchable at
+// /v1/results/{ResultHash} once its Status is done.
+type SweepPoint struct {
+	Index      int    `json:"index"`
+	Experiment string `json:"experiment"`
+	Params     Params `json:"params"`
+	JobID      string `json:"job_id,omitempty"`
+	Status     string `json:"status"`
+	Error      string `json:"error,omitempty"`
+	ResultHash string `json:"result_hash"`
+	Cached     bool   `json:"cached,omitempty"`
+}
+
+// SweepProgress aggregates a sweep's point counts. Cached counts the subset
+// of Done that was served from cache at submission.
+type SweepProgress struct {
+	Total    int `json:"total"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	Cached   int `json:"cached"`
+}
+
+// SweepStatus answers POST /v1/sweeps and GET/DELETE /v1/sweeps/{id}. The
+// aggregate Status is "running" until every point is terminal, then
+// "canceled" if any point was canceled, "failed" if any point failed,
+// otherwise "done".
+type SweepStatus struct {
+	ID       string        `json:"id"`
+	Status   string        `json:"status"`
+	Created  time.Time     `json:"created"`
+	Progress SweepProgress `json:"progress"`
+	Points   []SweepPoint  `json:"points"`
+}
+
 // ExperimentInfo is one registry entry in GET /v1/experiments.
 type ExperimentInfo struct {
 	ID    string `json:"id"`
@@ -134,7 +204,8 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	// CodeUnknownExperiment: the experiment id is not registered (HTTP 400).
 	CodeUnknownExperiment = "unknown_experiment"
-	// CodeBudgetTooLarge: cycles/warmup/trials exceed the guardrails (HTTP 400).
+	// CodeBudgetTooLarge: cycles/warmup/trials exceed the guardrails, or a
+	// sweep expands past the server's point cap (HTTP 400).
 	CodeBudgetTooLarge = "budget_too_large"
 	// CodeQueueFull: the bounded queue is saturated; retry after the
 	// Retry-After header's delay (HTTP 429).

@@ -1,0 +1,100 @@
+package api
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobStatusJSONShape pins the wire shape of job timestamps: a job that
+// has not started or finished omits those keys entirely — the zero-time
+// serialization ("0001-01-01T00:00:00Z") this replaced must never reappear.
+func TestJobStatusJSONShape(t *testing.T) {
+	created := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	queued, err := json.Marshal(JobStatus{ID: "job-1", Status: StatusQueued, Created: created})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(queued)
+	if strings.Contains(s, "0001-01-01") {
+		t.Fatalf("queued job serializes a zero time: %s", s)
+	}
+	for _, absent := range []string{`"started"`, `"finished"`, `"error"`, `"result_hash"`} {
+		if strings.Contains(s, absent) {
+			t.Errorf("queued job JSON should omit %s: %s", absent, s)
+		}
+	}
+	for _, present := range []string{`"id":"job-1"`, `"status":"queued"`, `"created":"2026-08-05T12:00:00Z"`} {
+		if !strings.Contains(s, present) {
+			t.Errorf("queued job JSON missing %s: %s", present, s)
+		}
+	}
+
+	started := created.Add(time.Second)
+	finished := created.Add(2 * time.Second)
+	done, err := json.Marshal(JobStatus{
+		ID: "job-1", Status: StatusDone, Created: created,
+		Started: &started, Finished: &finished, ResultHash: "abc",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = string(done)
+	for _, present := range []string{`"started":"2026-08-05T12:00:01Z"`, `"finished":"2026-08-05T12:00:02Z"`} {
+		if !strings.Contains(s, present) {
+			t.Errorf("done job JSON missing %s: %s", present, s)
+		}
+	}
+
+	// Round trip: the omitted fields come back as nil pointers, the set ones
+	// as the same instants.
+	var back JobStatus
+	if err := json.Unmarshal(queued, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Started != nil || back.Finished != nil {
+		t.Errorf("queued round trip: started=%v finished=%v, want nil", back.Started, back.Finished)
+	}
+	if err := json.Unmarshal(done, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Started == nil || !back.Started.Equal(started) || back.Finished == nil || !back.Finished.Equal(finished) {
+		t.Errorf("done round trip: started=%v finished=%v", back.Started, back.Finished)
+	}
+}
+
+// TestSweepRequestJSONShape pins the sweep request wire form: empty axes are
+// omitted, set ones appear under their knob name.
+func TestSweepRequestJSONShape(t *testing.T) {
+	b, err := json.Marshal(SweepRequest{
+		Base: SubmitRequest{Experiment: "fig8", Trials: 40},
+		Axes: SweepAxes{Seed: []int64{1, 2, 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, present := range []string{`"base":{"experiment":"fig8","trials":40}`, `"seed":[1,2,3]`} {
+		if !strings.Contains(s, present) {
+			t.Errorf("sweep request JSON missing %s: %s", present, s)
+		}
+	}
+	for _, absent := range []string{`"cycles"`, `"warmup"`, `"experiment":[`} {
+		if strings.Contains(s, absent) {
+			t.Errorf("sweep request JSON should omit unset axis %s: %s", absent, s)
+		}
+	}
+}
+
+func TestTerminal(t *testing.T) {
+	for status, want := range map[string]bool{
+		StatusQueued: false, StatusRunning: false,
+		StatusDone: true, StatusFailed: true, StatusCanceled: true,
+		"": false,
+	} {
+		if Terminal(status) != want {
+			t.Errorf("Terminal(%q) = %v, want %v", status, !want, want)
+		}
+	}
+}

@@ -133,6 +133,92 @@ func (c *Client) Run(ctx context.Context, req SubmitRequest, poll time.Duration)
 	return c.Result(ctx, hash)
 }
 
+// SubmitSweep posts a base config plus axes; the server expands the
+// cross-product and runs every point. When every point was already cached
+// the returned status is terminal immediately; otherwise poll Sweep or
+// block on WaitSweep.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
+	var out SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &out)
+	return out, err
+}
+
+// Sweep fetches a sweep's current status. A wait > 0 long-polls: the server
+// holds the request until a point completes, the sweep turns terminal, or
+// wait elapses — one round trip per progress step instead of poll-spinning.
+func (c *Client) Sweep(ctx context.Context, id string, wait time.Duration) (SweepStatus, error) {
+	path := "/v1/sweeps/" + id
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	var out SweepStatus
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// CancelSweep cancels every non-terminal point of a sweep: queued points
+// end immediately, running engines stop at their next context checkpoint
+// (milliseconds). Idempotent; the returned status is the state at response
+// time, so briefly-still-running points may need one more Sweep call to
+// observe "canceled".
+func (c *Client) CancelSweep(ctx context.Context, id string) (SweepStatus, error) {
+	var out SweepStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/sweeps/"+id, nil, &out)
+	return out, err
+}
+
+// WaitSweep long-polls a sweep until it reaches a terminal aggregate state
+// or ctx is done. Each round waits up to wait on the server side (default
+// 10s when ≤ 0). The terminal status is returned even when points failed or
+// were canceled; only transport and ctx errors are errors.
+func (c *Client) WaitSweep(ctx context.Context, id string, wait time.Duration) (SweepStatus, error) {
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	for {
+		st, err := c.Sweep(ctx, id, wait)
+		if err != nil {
+			return SweepStatus{}, err
+		}
+		if Terminal(st.Status) {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// RunSweep is the batched submit→wait→fetch convenience: it submits the
+// sweep, long-polls it to completion, and returns the terminal status plus
+// one Result per point, index-aligned with Points. A sweep that ends with
+// failed or canceled points returns the status and an error (with nil
+// results) so a partial grid is never mistaken for the full figure.
+func (c *Client) RunSweep(ctx context.Context, req SweepRequest, wait time.Duration) (SweepStatus, []Result, error) {
+	st, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return SweepStatus{}, nil, err
+	}
+	if !Terminal(st.Status) {
+		if st, err = c.WaitSweep(ctx, st.ID, wait); err != nil {
+			return st, nil, err
+		}
+	}
+	if st.Status != StatusDone {
+		return st, nil, fmt.Errorf("api: sweep %s finished %s (%d/%d points done)",
+			st.ID, st.Status, st.Progress.Done, st.Progress.Total)
+	}
+	results := make([]Result, len(st.Points))
+	for i, pt := range st.Points {
+		res, err := c.Result(ctx, pt.ResultHash)
+		if err != nil {
+			return st, nil, fmt.Errorf("api: sweep %s point %d: %w", st.ID, i, err)
+		}
+		results[i] = res
+	}
+	return st, results, nil
+}
+
 // do sends one request and decodes the 2xx body into out (skipped when out
 // is nil); non-2xx responses decode the error envelope into *Error.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
