@@ -9,6 +9,7 @@
 package eccparity
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"eccparity/internal/ecc"
 	"eccparity/internal/faultmodel"
 	"eccparity/internal/sim"
+	"eccparity/internal/sim/report"
 )
 
 // Shared evaluation matrices (reduced scale: 150K measured cycles).
@@ -395,6 +397,53 @@ func BenchmarkAblationRowPolicy(b *testing.B) {
 			}
 		}
 	}
+}
+
+// sweepThroughputPoints is the benchmark grid: every eccsim experiment at
+// two Monte Carlo budgets — a 34-point convergence-check sweep (does Table
+// III move between 30 and 60 trials?). Trials is part of each point's
+// result identity but does not touch the (scheme × workload) simulation
+// matrices, so the grid carries exactly the redundancy real cross-product
+// sweeps do: the per-point baseline recomputes 16 matrices, the batch
+// executor computes 2.
+func sweepThroughputPoints() []report.SweepPoint {
+	pts := []report.SweepPoint{}
+	for _, trials := range []int{30, 60} {
+		p := report.Params{Cycles: 30000, Warmup: 3000, Trials: trials, Seed: 1}
+		for _, id := range report.EccsimIDs() {
+			pts = append(pts, report.SweepPoint{Experiment: id, Params: p})
+		}
+	}
+	return pts
+}
+
+// BenchmarkSweepThroughput is the tentpole number of the batch-executor
+// work: aggregate throughput of a multi-point sweep, per-point jobs (one
+// fresh Runner per point — the daemon's pre-batch behaviour) vs one
+// report.RunBatch. Per-point results are byte-identical between the arms
+// (TestRunBatchMatchesIndependentRuns pins that); only wall clock differs.
+// The speedup is eval-matrix sharing, not parallelism, so it holds at any
+// core count.
+func BenchmarkSweepThroughput(b *testing.B) {
+	points := sweepThroughputPoints()
+	b.Run("per-point-jobs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, pt := range points {
+				if _, err := report.NewRunner(pt.Params, nil).RunContext(context.Background(), pt.Experiment); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(points))/b.Elapsed().Seconds(), "points/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := report.RunBatch(context.Background(), points, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*float64(len(points))/b.Elapsed().Seconds(), "points/s")
+	})
 }
 
 // BenchmarkSingleRunHotPath times one sim.Run — the unit the hot-path

@@ -121,6 +121,21 @@ func New(sizeBytes, ways, lineBytes int) *Cache {
 // LineBytes returns the cache line size.
 func (c *Cache) LineBytes() int { return c.lineBytes }
 
+// Geometry reports the construction parameters (size, ways, line bytes), so
+// a pooling caller can decide whether this cache can be Reset and reused
+// for a new configuration instead of reallocated.
+func (c *Cache) Geometry() (sizeBytes, ways, lineBytes int) {
+	return len(c.keys) * c.lineBytes, c.ways, c.lineBytes
+}
+
+// Reset invalidates every line and zeroes the counters, returning the
+// cache to its exact post-New state without reallocating the (potentially
+// megabyte-scale) key array.
+func (c *Cache) Reset() {
+	clear(c.keys)
+	c.stats = Stats{}
+}
+
 // Stats returns the event counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 

@@ -45,11 +45,29 @@ type Core struct {
 
 // New builds a core.
 func New(p Params) *Core {
+	c := &Core{}
+	c.Reset(p)
+	return c
+}
+
+// Reset returns the core to the exact post-New(p) state, reusing the miss
+// ring when its capacity already matches (the ring only ever grows under
+// pathological unpaced use, so a reset to the initial capacity keeps a
+// reused core's trajectory identical to a fresh one).
+func (c *Core) Reset(p Params) {
 	capacity := p.MaxOutstanding
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Core{p: p, out: make([]float64, capacity)}
+	if len(c.out) != capacity {
+		c.out = make([]float64, capacity)
+	}
+	c.p = p
+	c.time = 0
+	c.instructions = 0
+	c.head = 0
+	c.n = 0
+	c.StallCycles = 0
 }
 
 // Time returns the core-local clock in cycles.

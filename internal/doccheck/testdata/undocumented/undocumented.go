@@ -1,0 +1,15 @@
+package undocumented
+
+const ExportedConst = 1
+
+// documentedFine is unexported and needs no doc.
+const documentedFine = 2
+
+type Exported struct{}
+
+func (Exported) Method() {}
+
+// DocumentedMethod has a doc comment and must not be flagged.
+func (Exported) DocumentedMethod() {}
+
+func ExportedFunc() {}

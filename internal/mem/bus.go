@@ -34,6 +34,16 @@ func newBusAllocator(tBurst int) *busAllocator {
 	}
 }
 
+// reset empties the ring for a new run. A grown ring keeps its capacity:
+// slot allocation is capacity-independent (the ring only bounds how many
+// in-flight slots can be tracked at once, never which slot a request
+// gets), so reuse cannot change timing.
+func (b *busAllocator) reset(tBurst int) {
+	b.slotCycles = float64(tBurst)
+	clear(b.next)
+	b.base = 0
+}
+
 // alloc reserves the first free slot starting at or after `earliest` and
 // returns its start time in cycles.
 func (b *busAllocator) alloc(earliest float64) float64 {

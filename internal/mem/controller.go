@@ -140,39 +140,68 @@ type Controller struct {
 
 // NewController builds a controller for the configuration.
 func NewController(cfg Config) *Controller {
+	c := &Controller{}
+	c.Reset(cfg)
+	return c
+}
+
+// Reset re-initializes the controller for cfg, exactly as NewController
+// would, reusing the per-channel state arrays when the topology (channels,
+// ranks, banks) matches the previous configuration. The energy
+// coefficients are always recomputed (cheap), so a reused controller may
+// change device mix, timing or policy between runs. The data-bus rings
+// keep any grown capacity — slot allocation is capacity-independent — so a
+// reused controller produces bit-identical timing to a fresh one.
+func (c *Controller) Reset(cfg Config) {
 	if cfg.Channels <= 0 || cfg.RanksPerChannel <= 0 || cfg.BanksPerRank <= 0 || len(cfg.Chips) == 0 {
 		panic(fmt.Sprintf("mem: invalid config %+v", cfg))
 	}
-	c := &Controller{cfg: cfg}
-	c.bankBusy = make([][]float64, cfg.Channels)
-	c.bus = make([]*busAllocator, cfg.Channels)
-	c.openRow = make([][]int, cfg.Channels)
-	c.ranks = make([][]rankState, cfg.Channels)
-	c.lastActs = make([][]actWindow, cfg.Channels)
-	c.lastWrEnd = make([][]float64, cfg.Channels)
-	c.nextRefr = make([][]float64, cfg.Channels)
+	sameShape := c.cfg.Channels == cfg.Channels &&
+		c.cfg.RanksPerChannel == cfg.RanksPerChannel &&
+		c.cfg.BanksPerRank == cfg.BanksPerRank &&
+		c.bankBusy != nil
+	c.cfg = cfg
+	c.stats = Stats{}
+	if !sameShape {
+		c.bankBusy = make([][]float64, cfg.Channels)
+		c.bus = make([]*busAllocator, cfg.Channels)
+		c.openRow = make([][]int, cfg.Channels)
+		c.ranks = make([][]rankState, cfg.Channels)
+		c.lastActs = make([][]actWindow, cfg.Channels)
+		c.lastWrEnd = make([][]float64, cfg.Channels)
+		c.nextRefr = make([][]float64, cfg.Channels)
+		for ch := 0; ch < cfg.Channels; ch++ {
+			c.bankBusy[ch] = make([]float64, cfg.RanksPerChannel*cfg.BanksPerRank)
+			c.openRow[ch] = make([]int, cfg.RanksPerChannel*cfg.BanksPerRank)
+			c.bus[ch] = newBusAllocator(cfg.Timing.TBurst)
+			c.ranks[ch] = make([]rankState, cfg.RanksPerChannel)
+			c.lastActs[ch] = make([]actWindow, cfg.RanksPerChannel)
+			c.lastWrEnd[ch] = make([]float64, cfg.RanksPerChannel)
+			c.nextRefr[ch] = make([]float64, cfg.RanksPerChannel)
+		}
+	}
 	for ch := 0; ch < cfg.Channels; ch++ {
-		c.bankBusy[ch] = make([]float64, cfg.RanksPerChannel*cfg.BanksPerRank)
-		c.openRow[ch] = make([]int, cfg.RanksPerChannel*cfg.BanksPerRank)
+		clear(c.bankBusy[ch])
 		for i := range c.openRow[ch] {
 			c.openRow[ch][i] = -1
 		}
-		c.bus[ch] = newBusAllocator(cfg.Timing.TBurst)
-		c.ranks[ch] = make([]rankState, cfg.RanksPerChannel)
-		c.lastActs[ch] = make([]actWindow, cfg.RanksPerChannel)
+		c.bus[ch].reset(cfg.Timing.TBurst)
+		clear(c.ranks[ch])
 		for r := range c.lastActs[ch] {
 			c.lastActs[ch][r].reset()
+			c.lastActs[ch][r].idx = 0
 		}
-		c.lastWrEnd[ch] = make([]float64, cfg.RanksPerChannel)
 		for r := range c.lastWrEnd[ch] {
 			c.lastWrEnd[ch][r] = negInf
 		}
-		c.nextRefr[ch] = make([]float64, cfg.RanksPerChannel)
 		for r := range c.nextRefr[ch] {
 			// Stagger refresh across ranks, as controllers do.
 			c.nextRefr[ch][r] = float64(cfg.Timing.TREFI) * (1 + float64(r)/float64(cfg.RanksPerChannel))
 		}
 	}
+	c.eAct, c.eRead, c.eWrite = 0, 0, 0
+	c.pActive, c.pStandby, c.pPowerDown = 0, 0, 0
+	c.eRefreshPerRank = 0
 	for _, chip := range cfg.Chips {
 		c.eAct += chip.ActivateEnergy(cfg.Timing)
 		c.eRead += chip.ReadBurstEnergy(cfg.Timing)
@@ -182,7 +211,6 @@ func NewController(cfg Config) *Controller {
 		c.pPowerDown += chip.BackgroundPower(dram.StatePowerDown)
 		c.eRefreshPerRank += chip.RefreshEnergy(cfg.Timing)
 	}
-	return c
 }
 
 // Config returns the controller configuration.

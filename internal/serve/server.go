@@ -99,6 +99,13 @@ type Server struct {
 	metrics *metrics
 	mux     *http.ServeMux
 
+	// executors is the batch-execution pool: one report.Executor per job
+	// worker, checked out for the duration of one compute, so consecutive
+	// points on the same worker share evaluation matrices (the sweep fast
+	// path). At most JobWorkers computes run concurrently — every compute
+	// happens on a queue worker goroutine — so a checkout never blocks.
+	executors chan *report.Executor
+
 	// Sweep registry: a sweep is immutable after registration (its point
 	// list and job ids are fixed at submit); live point status is read from
 	// the queue on demand, so sweepMu only guards the map itself.
@@ -123,11 +130,15 @@ func New(o Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		opts:    o,
-		queue:   jobqueue.New(o.QueueCap, o.JobWorkers),
-		cache:   cache,
-		metrics: newMetrics(),
-		sweeps:  map[string]*sweepRec{},
+		opts:      o,
+		queue:     jobqueue.New(o.QueueCap, o.JobWorkers),
+		cache:     cache,
+		metrics:   newMetrics(),
+		sweeps:    map[string]*sweepRec{},
+		executors: make(chan *report.Executor, o.JobWorkers),
+	}
+	for i := 0; i < o.JobWorkers; i++ {
+		s.executors <- report.NewExecutor(o.Progress)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
@@ -289,9 +300,21 @@ func (s *Server) effectiveTimeout(seconds float64) time.Duration {
 // deterministic (struct order, sorted map keys), and MarshalIndent re-
 // indents the embedded RawMessage uniformly. A canceled ctx propagates out
 // before anything is cached.
+//
+// Each compute checks an Executor out of the pool, so sweep points that
+// land on the same worker back to back reuse each other's evaluation
+// matrices; report.Executor guarantees the rendered bytes are identical to
+// a standalone Runner's.
 func (s *Server) compute(ctx context.Context, key, experiment string, p report.Params) ([]byte, error) {
 	p.Workers = s.opts.Workers
-	rep, err := report.NewRunner(p, s.opts.Progress).RunContext(ctx, experiment)
+	var x *report.Executor
+	select {
+	case x = <-s.executors:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	rep, err := x.Run(ctx, experiment, p)
+	s.executors <- x
 	if err != nil {
 		return nil, err
 	}

@@ -23,6 +23,21 @@ func newAddrTable() *addrTable {
 	return t
 }
 
+// reset returns the table to the exact post-newAddrTable state. A grown
+// table is shrunk back to the initial capacity on purpose: pruneBelow's
+// leftover-stale-entry behaviour depends on the capacity at prune time, so
+// a reused table must retrace a fresh table's growth trajectory for a
+// rerun to stay bit-identical.
+func (t *addrTable) reset() {
+	if len(t.keys) != addrTableInitial {
+		t.init(addrTableInitial)
+	} else {
+		clear(t.keys)
+		clear(t.vals)
+	}
+	t.live = 0
+}
+
 func (t *addrTable) init(size int) {
 	t.keys = make([]uint64, size)
 	t.vals = make([]float64, size)

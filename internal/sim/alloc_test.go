@@ -21,7 +21,7 @@ func TestHandleAccessSteadyStateAllocs(t *testing.T) {
 	cfg := DefaultConfig("chipkill18", QuadEq, "mcf")
 	cfg.WarmupAccesses = 8000
 	cfg.MeasureCycles = 30000
-	e := newEngine(cfg)
+	e := NewArena().prepare(cfg)
 	if err := e.warmup(context.Background()); err != nil {
 		t.Fatalf("warmup: %v", err)
 	}

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// arenaTestConfigs is a deliberately heterogeneous grid: scheme shapes
+// (inline, ECC-line, parity with marked banks), both system classes
+// (different channel counts, so controller/marked shapes change between
+// points), different workloads, and every config knob that alters the
+// prepared engine (open-page, scrubbing, speed bin, power-down override,
+// ECC-caching ablation). Interleaving these through one Arena exercises
+// every reuse-vs-rebuild branch of prepare.
+func arenaTestConfigs() []Config {
+	small := func(scheme string, class SystemClass, wl string) Config {
+		cfg := DefaultConfig(scheme, class, wl)
+		cfg.WarmupAccesses = 2000
+		cfg.MeasureCycles = 20000
+		return cfg
+	}
+	withMarks := small("lotecc5+parity", QuadEq, "mcf")
+	withMarks.MarkedBankFraction = 0.1
+	openPage := small("chipkill18", DualEq, "lbm")
+	openPage.OpenPage = true
+	scrub := small("multiecc", QuadEq, "libquantum")
+	scrub.ScrubLineInterval = 500
+	binned := small("raim+parity", DualEq, "mcf")
+	binned.SpeedBinFactor = 1.16
+	sleepy := small("chipkill36", QuadEq, "omnetpp")
+	sleepy.PowerDownThreshold = 50
+	ablated := small("lotecc9", DualEq, "soplex")
+	ablated.DisableECCCaching = true
+	return []Config{
+		small("chipkill18", QuadEq, "mcf"),
+		withMarks,
+		openPage,
+		scrub,
+		binned,
+		sleepy,
+		ablated,
+		small("chipkill18", QuadEq, "mcf"), // repeat of the first point
+	}
+}
+
+// TestArenaReuseDeterminism interleaves a heterogeneous grid through one
+// Arena, twice, and asserts every result is identical to a fresh-arena run
+// of the same configuration. This is the reuse contract: a run through a
+// used Arena is indistinguishable from a run through a new one.
+func TestArenaReuseDeterminism(t *testing.T) {
+	ctx := context.Background()
+	cfgs := arenaTestConfigs()
+	want := make([]Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := NewArena().RunContext(ctx, cfg)
+		if err != nil {
+			t.Fatalf("fresh run %d: %v", i, err)
+		}
+		want[i] = r
+	}
+	a := NewArena()
+	for round := 0; round < 2; round++ {
+		for i, cfg := range cfgs {
+			got, err := a.RunContext(ctx, cfg)
+			if err != nil {
+				t.Fatalf("round %d reused run %d: %v", round, i, err)
+			}
+			if !reflect.DeepEqual(got, want[i]) {
+				t.Errorf("round %d config %d (%s/%s/%s): reused-arena result diverges from fresh-arena result\n got: %+v\nwant: %+v",
+					round, i, cfg.Scheme.Key, cfg.Class, cfg.Workload.Name, got, want[i])
+			}
+		}
+	}
+}
+
+// TestArenaSpeedBinDoesNotContaminatePrototype pins the copy-on-mutate
+// contract of the shared controller-config cache: a speed-binned run must
+// not rebin the shared Chips prototype in place, which would silently skew
+// every later run of the same (scheme, class).
+func TestArenaSpeedBinDoesNotContaminatePrototype(t *testing.T) {
+	ctx := context.Background()
+	plain := DefaultConfig("chipkill18", QuadEq, "mcf")
+	plain.WarmupAccesses = 2000
+	plain.MeasureCycles = 20000
+	want, err := NewArena().RunContext(ctx, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binned := plain
+	binned.SpeedBinFactor = 1.16
+	a := NewArena()
+	if _, err := a.RunContext(ctx, binned); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.RunContext(ctx, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("plain run after speed-binned run diverges: the shared Chips prototype was mutated\n got: %+v\nwant: %+v", got, want)
+	}
+}

@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"sync"
 
 	"eccparity/internal/dram"
 	"eccparity/internal/ecc"
@@ -72,8 +73,55 @@ func (s SchemeConfig) Channels(class SystemClass) int {
 	return g.ChannelsQuadEq
 }
 
-// Schemes returns every evaluated configuration keyed as in the paper.
+// The shared immutable tier of the engine: scheme configurations (whose
+// ecc.Scheme instances carry the precomputed GF/RS product tables),
+// per-(scheme, class) controller-config prototypes, and address mappers
+// (pow2 shift tables) are built once per process and shared read-only
+// across every engine, so a sweep pays the table wiring once instead of
+// per run. Everything reachable from these caches is treated as immutable
+// after construction — engines copy before mutating (see the arena's
+// speed-bin path).
+var (
+	schemesOnce   sync.Once
+	schemesShared map[string]SchemeConfig
+
+	memCfgMu     sync.Mutex
+	memCfgShared = map[memCfgKey]mem.Config{}
+
+	mapperMu     sync.Mutex
+	mapperShared = map[mapperKey]*mem.AddressMapper{}
+)
+
+type memCfgKey struct {
+	scheme string
+	class  SystemClass
+}
+
+type mapperKey struct {
+	channels, ranks, banks, line int
+	rowFriendly                  bool
+}
+
+// schemes returns the process-wide scheme table. Callers must not mutate
+// the map or anything reachable from it.
+func schemes() map[string]SchemeConfig {
+	schemesOnce.Do(func() { schemesShared = buildSchemes() })
+	return schemesShared
+}
+
+// Schemes returns every evaluated configuration keyed as in the paper. The
+// returned map is the caller's to modify; the ecc.Scheme instances inside
+// are shared, immutable after construction, and safe for concurrent use.
 func Schemes() map[string]SchemeConfig {
+	shared := schemes()
+	out := make(map[string]SchemeConfig, len(shared))
+	for k, v := range shared {
+		out[k] = v
+	}
+	return out
+}
+
+func buildSchemes() map[string]SchemeConfig {
 	return map[string]SchemeConfig{
 		"chipkill36": {
 			Key: "chipkill36", Display: "36-device commercial chipkill",
@@ -113,15 +161,33 @@ func Schemes() map[string]SchemeConfig {
 // SchemeByKey fetches a configuration; it panics on unknown keys (keys are
 // compile-time constants throughout this repository).
 func SchemeByKey(key string) SchemeConfig {
-	s, ok := Schemes()[key]
+	s, ok := schemes()[key]
 	if !ok {
 		panic(fmt.Sprintf("sim: unknown scheme %q", key))
 	}
 	return s
 }
 
-// memConfig builds the controller configuration of a scheme in a class.
+// memConfig returns the controller configuration of a scheme in a class
+// from the shared prototype cache. The returned Config is a value copy,
+// but its Chips slice is shared: callers that mutate Chips (the speed-bin
+// path) must copy it first.
 func memConfig(sc SchemeConfig, class SystemClass) mem.Config {
+	key := memCfgKey{scheme: sc.Key, class: class}
+	memCfgMu.Lock()
+	defer memCfgMu.Unlock()
+	if mc, ok := memCfgShared[key]; ok && sc.Key != "" {
+		return mc
+	}
+	mc := buildMemConfig(sc, class)
+	if sc.Key != "" {
+		memCfgShared[key] = mc
+	}
+	return mc
+}
+
+// buildMemConfig constructs a controller configuration from scratch.
+func buildMemConfig(sc SchemeConfig, class SystemClass) mem.Config {
 	g := sc.Base.Geometry()
 	chips := make([]dram.Chip, 0, g.ChipsPerRank())
 	widest := dram.X4
@@ -142,4 +208,20 @@ func memConfig(sc SchemeConfig, class SystemClass) mem.Config {
 		PowerDownThreshold: mem.DefaultPowerDownThreshold,
 		LineBytes:          g.LineSize,
 	}
+}
+
+// mapperFor returns the shared address mapper for a geometry. Mappers are
+// immutable after construction (Map is a pure read), so one instance
+// serves any number of concurrent engines.
+func mapperFor(channels, ranks, banks, line int, rowFriendly bool) *mem.AddressMapper {
+	key := mapperKey{channels: channels, ranks: ranks, banks: banks, line: line, rowFriendly: rowFriendly}
+	mapperMu.Lock()
+	defer mapperMu.Unlock()
+	if m, ok := mapperShared[key]; ok {
+		return m
+	}
+	m := mem.NewAddressMapper(channels, ranks, banks, line)
+	m.RowBufferFriendly = rowFriendly
+	mapperShared[key] = m
+	return m
 }

@@ -12,15 +12,20 @@ type coreHeap struct {
 	times []float64 // indexed by core id
 }
 
-func newCoreHeap(times []float64) *coreHeap {
-	h := &coreHeap{ids: make([]int32, len(times)), times: times}
+// reset rebuilds the heap over times, reusing the id array when its
+// capacity suffices (the arena calls this once per run).
+func (h *coreHeap) reset(times []float64) {
+	if cap(h.ids) < len(times) {
+		h.ids = make([]int32, len(times))
+	}
+	h.ids = h.ids[:len(times)]
+	h.times = times
 	for i := range h.ids {
 		h.ids[i] = int32(i)
 	}
 	for i := len(h.ids)/2 - 1; i >= 0; i-- {
 		h.siftDown(i)
 	}
-	return h
 }
 
 // min returns the id and clock of the earliest core.

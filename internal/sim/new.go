@@ -23,6 +23,7 @@ type ConfigError struct {
 	Reason string
 }
 
+// Error names the offending field and why it was rejected.
 func (e *ConfigError) Error() string {
 	return fmt.Sprintf("sim: invalid config: %s: %s", e.Field, e.Reason)
 }

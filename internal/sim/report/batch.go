@@ -1,0 +1,125 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"eccparity/internal/sim"
+)
+
+// evalKey is the identity of one (scheme × workload) evaluation matrix:
+// the Params fields that change simulated behaviour (Cycles, Warmup, Seed)
+// plus the system class. Trials (Monte Carlo only), CSV (rendering only)
+// and Workers (scheduling only) are deliberately excluded — points that
+// differ only in those share the same matrix.
+type evalKey struct {
+	cycles float64
+	warmup int
+	seed   int64
+	class  sim.SystemClass
+}
+
+// fig9Key is the identity of a Fig. 9 bandwidth campaign (no class: Fig. 9
+// is always the dual-channel commercial-ECC system).
+type fig9Key struct {
+	cycles float64
+	warmup int
+	seed   int64
+}
+
+// Bounds on the store: an identity is ~128 simulation results, so a
+// runaway sweep over many (cycles, warmup, seed) combinations must not
+// accumulate matrices without limit. Oldest-inserted is evicted first;
+// within one sweep identities repeat heavily, so the bound is rarely hit.
+const (
+	maxStoredEvals = 8
+	maxStoredFig9  = 8
+)
+
+// evalStore caches evaluation matrices and Fig. 9 campaigns across the
+// points of a batch. It is not safe for concurrent use — it rides inside
+// an Executor, which is checked out by one worker at a time.
+type evalStore struct {
+	evals     map[evalKey]*sim.Evaluation
+	evalOrder []evalKey
+	fig9      map[fig9Key][]sim.Fig9Row
+	fig9Order []fig9Key
+}
+
+func newEvalStore() *evalStore {
+	return &evalStore{
+		evals: map[evalKey]*sim.Evaluation{},
+		fig9:  map[fig9Key][]sim.Fig9Row{},
+	}
+}
+
+func (s *evalStore) putEval(k evalKey, ev *sim.Evaluation) {
+	if len(s.evalOrder) >= maxStoredEvals {
+		delete(s.evals, s.evalOrder[0])
+		s.evalOrder = s.evalOrder[1:]
+	}
+	s.evals[k] = ev
+	s.evalOrder = append(s.evalOrder, k)
+}
+
+func (s *evalStore) putFig9(k fig9Key, rows []sim.Fig9Row) {
+	if len(s.fig9Order) >= maxStoredFig9 {
+		delete(s.fig9, s.fig9Order[0])
+		s.fig9Order = s.fig9Order[1:]
+	}
+	s.fig9[k] = rows
+	s.fig9Order = append(s.fig9Order, k)
+}
+
+// Executor runs experiment points back to back through one shared
+// evaluation store, so points whose Params agree on the simulated identity
+// (Cycles, Warmup, Seed) reuse each other's (scheme × workload) matrices
+// and Fig. 9 campaigns instead of recomputing them. This is the engine of
+// the batch sweep path: a grid that varies only Trials, CSV, or the
+// experiment id runs its expensive simulations once.
+//
+// Results are unaffected by sharing — a matrix's bytes depend only on its
+// identity, which is exactly the store key — and a canceled point caches
+// nothing, matching the single-Runner behaviour. An Executor is not safe
+// for concurrent use; the daemon keeps one per job worker.
+type Executor struct {
+	progress io.Writer
+	store    *evalStore
+}
+
+// NewExecutor builds an Executor. progress receives campaign tickers (nil
+// silences them); it never receives report text.
+func NewExecutor(progress io.Writer) *Executor {
+	return &Executor{progress: progress, store: newEvalStore()}
+}
+
+// Run executes one experiment point under ctx, exactly like
+// NewRunner(p, progress).RunContext(ctx, experiment) except that the
+// expensive intermediates are shared with the Executor's previous points.
+func (x *Executor) Run(ctx context.Context, experiment string, p Params) (Report, error) {
+	r := NewRunner(p, x.progress)
+	r.store = x.store
+	return r.RunContext(ctx, experiment)
+}
+
+// RunBatch executes an ordered slice of sweep points through one Executor
+// and returns their Reports in order. Execution is sequential and
+// fail-fast: the first error (typically ctx.Err() after a cancel) aborts
+// the batch. Each point's Report is byte-identical to what
+// NewRunner(pt.Params, progress).RunContext(ctx, pt.Experiment) returns —
+// the batch only removes redundant recomputation, never changes results.
+// Callers should pass normalized Params (Params.Normalized) so that points
+// meant to share an identity actually do.
+func RunBatch(ctx context.Context, points []SweepPoint, progress io.Writer) ([]Report, error) {
+	x := NewExecutor(progress)
+	out := make([]Report, len(points))
+	for i, pt := range points {
+		rep, err := x.Run(ctx, pt.Experiment, pt.Params)
+		if err != nil {
+			return nil, fmt.Errorf("report: batch point %d (%s): %w", i, pt.Experiment, err)
+		}
+		out[i] = rep
+	}
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// batchTestPoints is a mixed sweep: matrix figures over both classes (the
+// quad points share one evaluation matrix, the dual points another), the
+// Fig. 9 campaign, a Monte Carlo table, a CSV rendering variant, and a
+// Trials variant — the last two share the simulated identity of earlier
+// points, so the batch path reuses their matrices while the independent
+// baseline recomputes everything.
+func batchTestPoints() []SweepPoint {
+	p := Params{Cycles: 10000, Warmup: 1000, Trials: 30, Seed: 1}
+	csv := p
+	csv.CSV = true
+	trials2 := p
+	trials2.Trials = 60
+	return []SweepPoint{
+		{Experiment: "fig10", Params: p},
+		{Experiment: "fig12", Params: p},
+		{Experiment: "fig11", Params: p},
+		{Experiment: "fig9", Params: p},
+		{Experiment: "table3", Params: p},
+		{Experiment: "fig10", Params: csv},
+		{Experiment: "fig13", Params: trials2},
+		{Experiment: "fig9", Params: trials2},
+	}
+}
+
+// TestRunBatchMatchesIndependentRuns is the batch determinism contract: a
+// multi-point sweep through one Executor's shared store must produce, per
+// point, byte-identical Text and Data to N independent single-Runner runs
+// — at worker counts 1 and 8.
+func TestRunBatchMatchesIndependentRuns(t *testing.T) {
+	ctx := context.Background()
+	base := batchTestPoints()
+	for _, workers := range []int{1, 8} {
+		points := make([]SweepPoint, len(base))
+		copy(points, base)
+		for i := range points {
+			points[i].Params.Workers = workers
+		}
+		batch, err := RunBatch(ctx, points, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: RunBatch: %v", workers, err)
+		}
+		if len(batch) != len(points) {
+			t.Fatalf("workers=%d: got %d reports for %d points", workers, len(batch), len(points))
+		}
+		for i, pt := range points {
+			single, err := NewRunner(pt.Params, nil).RunContext(ctx, pt.Experiment)
+			if err != nil {
+				t.Fatalf("workers=%d point %d (%s): single run: %v", workers, i, pt.Experiment, err)
+			}
+			if batch[i].Text != single.Text {
+				t.Errorf("workers=%d point %d (%s): batch Text diverges from independent run\nbatch:\n%s\nsingle:\n%s",
+					workers, i, pt.Experiment, batch[i].Text, single.Text)
+			}
+			bd, err := json.Marshal(batch[i].Data)
+			if err != nil {
+				t.Fatalf("marshal batch data: %v", err)
+			}
+			sd, err := json.Marshal(single.Data)
+			if err != nil {
+				t.Fatalf("marshal single data: %v", err)
+			}
+			if string(bd) != string(sd) {
+				t.Errorf("workers=%d point %d (%s): batch Data diverges from independent run", workers, i, pt.Experiment)
+			}
+		}
+	}
+}
+
+// TestExecutorCancellationCachesNothing pins the cancel-retry behaviour:
+// a point canceled mid-matrix must leave the store empty, so a later
+// retry through the same Executor recomputes — and matches — a fresh run.
+func TestExecutorCancellationCachesNothing(t *testing.T) {
+	p := Params{Cycles: 10000, Warmup: 1000, Trials: 30, Seed: 1}
+	x := NewExecutor(nil)
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := x.Run(canceled, "fig10", p); err == nil {
+		t.Fatal("canceled point unexpectedly succeeded")
+	}
+	if n := len(x.store.evals) + len(x.store.fig9); n != 0 {
+		t.Fatalf("canceled point left %d cached entries in the store", n)
+	}
+	got, err := x.Run(context.Background(), "fig10", p)
+	if err != nil {
+		t.Fatalf("retry after cancel: %v", err)
+	}
+	want, err := NewRunner(p, nil).RunContext(context.Background(), "fig10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Text != want.Text {
+		t.Error("retry after cancel diverges from fresh run")
+	}
+}

@@ -77,6 +77,10 @@ type Runner struct {
 	progress io.Writer
 	ctx      context.Context // the active RunContext's context; Background between runs
 	evals    map[sim.SystemClass]*sim.Evaluation
+	// store, when non-nil, shares evaluation matrices and Fig. 9 campaigns
+	// across the Runners of one Executor (the batch sweep path). A plain
+	// NewRunner has no store and keeps the historical per-Runner caching.
+	store *evalStore
 }
 
 // NewRunner builds a Runner. progress receives the done/total tickers of
@@ -104,9 +108,19 @@ func (r *Runner) opts() []sim.Option {
 // eval returns the cached (scheme × workload) matrix for a system class,
 // running it on first use under the active run's context. A canceled run
 // caches nothing, so a later retry recomputes the matrix from scratch.
+// When the Runner rides in an Executor, the matrix is first looked up in —
+// and published to — the batch-wide store, keyed by the Params fields that
+// determine its contents (Cycles, Warmup, Seed) plus the class.
 func (r *Runner) eval(class sim.SystemClass) (*sim.Evaluation, error) {
 	if ev, ok := r.evals[class]; ok {
 		return ev, nil
+	}
+	key := evalKey{cycles: r.p.Cycles, warmup: r.p.Warmup, seed: r.p.Seed, class: class}
+	if r.store != nil {
+		if ev, ok := r.store.evals[key]; ok {
+			r.evals[class] = ev
+			return ev, nil
+		}
 	}
 	s, err := sim.New(r.opts()...)
 	if err != nil {
@@ -117,7 +131,30 @@ func (r *Runner) eval(class sim.SystemClass) (*sim.Evaluation, error) {
 		return nil, err
 	}
 	r.evals[class] = ev
+	if r.store != nil {
+		r.store.putEval(key, ev)
+	}
 	return ev, nil
+}
+
+// fig9Rows returns the Fig. 9 bandwidth campaign for the Runner's Params,
+// consulting the batch store when present. The returned slice is shared —
+// callers must not mutate it (the renderer sorts a copy).
+func (r *Runner) fig9Rows() ([]sim.Fig9Row, error) {
+	key := fig9Key{cycles: r.p.Cycles, warmup: r.p.Warmup, seed: r.p.Seed}
+	if r.store != nil {
+		if rows, ok := r.store.fig9[key]; ok {
+			return rows, nil
+		}
+	}
+	rows, err := sim.Fig9BandwidthContext(r.ctx, r.opts()...)
+	if err != nil {
+		return nil, err
+	}
+	if r.store != nil {
+		r.store.putFig9(key, rows)
+	}
+	return rows, nil
 }
 
 // spec is one registry entry. run renders the experiment's text into w and

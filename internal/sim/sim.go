@@ -8,8 +8,6 @@ import (
 	"eccparity/internal/cache"
 	"eccparity/internal/core"
 	"eccparity/internal/cpu"
-	"eccparity/internal/dram"
-	"eccparity/internal/ecc"
 	"eccparity/internal/mem"
 	"eccparity/internal/workload"
 )
@@ -145,6 +143,10 @@ type engine struct {
 	inflight *addrTable
 	// vq is the reusable eviction-cascade queue for handleVictim.
 	vq []cache.Evicted
+	// times and heap are the measure loop's core-selection scratch, kept
+	// on the engine so an arena reuses them across runs.
+	times []float64
+	heap  coreHeap
 }
 
 // Run executes one simulation deterministically. It is the uninterruptible
@@ -171,72 +173,9 @@ const ctxCheckEvery = 1024
 // to Run — the checkpoints only observe, never reorder — and a canceled
 // run returns ctx's error with a zero Result.
 func RunContext(ctx context.Context, cfg Config) (Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	e := newEngine(cfg)
-	if err := e.warmup(ctx); err != nil {
-		return Result{}, err
-	}
-	if err := e.measure(ctx); err != nil {
-		return Result{}, err
-	}
-	return e.collect(), nil
-}
-
-func newEngine(cfg Config) *engine {
-	mc := memConfig(cfg.Scheme, cfg.Class)
-	if cfg.PowerDownThreshold > 0 {
-		mc.PowerDownThreshold = cfg.PowerDownThreshold
-	}
-	if cfg.SpeedBinFactor > 0 && cfg.SpeedBinFactor != 1 {
-		for i := range mc.Chips {
-			mc.Chips[i], mc.Timing = dram.SpeedBin(mc.Chips[i], dram.DDR3Timing1GHz(), cfg.SpeedBinFactor)
-		}
-	}
-	mc.OpenPage = cfg.OpenPage
-	g := cfg.Scheme.Base.Geometry()
-	mapper := mem.NewAddressMapper(mc.Channels, mc.RanksPerChannel, mc.BanksPerRank, g.LineSize)
-	mapper.RowBufferFriendly = cfg.OpenPage
-	e := &engine{
-		cfg:      cfg,
-		ctrl:     mem.NewController(mc),
-		mapper:   mapper,
-		llc:      cache.New(cfg.LLCBytes, cfg.LLCWays, g.LineSize),
-		channels: mc.Channels,
-		r:        ecc.R(cfg.Scheme.Base),
-		line:     g.LineSize,
-	}
-	e.cores = make([]*cpu.Core, cfg.Cores)
-	e.gens = make([]workload.Source, cfg.Cores)
-	e.lastMiss = make([]uint64, cfg.Cores)
-	e.inflight = newAddrTable()
-	e.vq = make([]cache.Evicted, 0, 16)
-	if cfg.Sources != nil && len(cfg.Sources) != cfg.Cores {
-		panic(fmt.Sprintf("sim: %d sources for %d cores", len(cfg.Sources), cfg.Cores))
-	}
-	for i := range e.cores {
-		e.cores[i] = cpu.New(cpu.DefaultParams())
-		if cfg.Sources != nil {
-			e.gens[i] = cfg.Sources[i]
-		} else {
-			e.gens[i] = workload.NewGenerator(cfg.Workload, i, cfg.Seed)
-		}
-	}
-	e.marked = make([][]bool, mc.Channels)
-	total := mc.Channels * mc.RanksPerChannel * mc.BanksPerRank
-	quota := int(cfg.MarkedBankFraction*float64(total) + 0.5)
-	// Round up to whole pairs.
-	quota = (quota + 1) &^ 1
-	for ch := range e.marked {
-		e.marked[ch] = make([]bool, mc.RanksPerChannel*mc.BanksPerRank)
-	}
-	for i := 0; i < quota; i++ {
-		ch := i % mc.Channels
-		idx := (i / mc.Channels) % (mc.RanksPerChannel * mc.BanksPerRank)
-		e.marked[ch][idx] = true
-	}
-	return e
+	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
+	return a.RunContext(ctx, cfg)
 }
 
 func (e *engine) warmup(ctx context.Context) error {
@@ -271,7 +210,10 @@ func (e *engine) measure(ctx context.Context) error {
 	// The per-iteration core selection runs off a min-heap keyed by
 	// (local clock, core id); maxTime tracks the fastest core
 	// incrementally so the scrubber's "due" test needs no scan either.
-	times := make([]float64, len(e.cores))
+	if cap(e.times) < len(e.cores) {
+		e.times = make([]float64, len(e.cores))
+	}
+	times := e.times[:len(e.cores)]
 	maxTime := 0.0
 	for i, c := range e.cores {
 		times[i] = c.Time()
@@ -279,7 +221,8 @@ func (e *engine) measure(ctx context.Context) error {
 			maxTime = times[i]
 		}
 	}
-	h := newCoreHeap(times)
+	e.heap.reset(times)
+	h := &e.heap
 	lastRelease := 0.0
 
 	for iter := 0; ; iter++ {

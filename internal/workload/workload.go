@@ -127,6 +127,17 @@ type Generator struct {
 // address spaces (base separated per core); PARSEC threads share base 0 and
 // interleave over a common working set.
 func NewGenerator(spec Spec, core int, seed int64) *Generator {
+	g := &Generator{rng: rand.New(rand.NewSource(0))}
+	g.Reset(spec, core, seed)
+	return g
+}
+
+// Reset re-initializes the generator in place to the exact state
+// NewGenerator(spec, core, seed) would produce, re-seeding the existing
+// random source instead of allocating a new one. It is how the engine
+// arena (internal/sim) reuses generators across runs without changing the
+// emitted stream.
+func (g *Generator) Reset(spec Spec, core int, seed int64) {
 	base := uint64(0)
 	if !spec.Parsec {
 		// Disjoint 1GB-aligned spaces per instance.
@@ -136,15 +147,12 @@ func NewGenerator(spec Spec, core int, seed int64) *Generator {
 	if lines == 0 {
 		lines = 1
 	}
-	g := &Generator{
-		spec:    spec,
-		rng:     rand.New(rand.NewSource(seed ^ int64(core)*1000003)),
-		base:    base,
-		lines:   lines,
-		meanGap: 1000 / spec.APKI,
-	}
+	g.spec = spec
+	g.rng.Seed(seed ^ int64(core)*1000003)
+	g.base = base
+	g.lines = lines
+	g.meanGap = 1000 / spec.APKI
 	g.cur = uint64(g.rng.Int63n(int64(lines)))
-	return g
 }
 
 // Next emits the next access.

@@ -237,6 +237,7 @@ type Error struct {
 	Message    string
 }
 
+// Error renders the message, code and HTTP status in one line.
 func (e *Error) Error() string {
 	return fmt.Sprintf("api: %s (%s, http %d)", e.Message, e.Code, e.StatusCode)
 }
