@@ -1,0 +1,180 @@
+// Command benchdiff is the repo's performance regression gate: it reads
+// every committed BENCH_*.json, groups them by their "benchmark" field
+// (different benchmark families measure different things and must never be
+// cross-compared), and within each family checks the newest file against
+// the previous one. A higher-is-better headline metric — speedup,
+// interactive_p95_speedup, per-result points_per_s — that dropped by more
+// than the tolerance band fails the gate, as does a newest file whose own
+// acceptance block says "met": false.
+//
+//	benchdiff             # compare BENCH_*.json in the current directory
+//	benchdiff -tolerance 0.15 -dir bench/
+//
+// Exit status: 0 when every family passes, 1 on a regression or failed
+// acceptance, 2 on usage or parse errors. Raw latency numbers are
+// deliberately not compared — they are machine-dependent and lower-is-
+// better; the speedup ratios derived from same-machine A/B arms are the
+// stable signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_*.json files")
+	tolerance := flag.Float64("tolerance", 0.10, "allowed relative drop in a higher-is-better metric before failing (0.10 = 10%)")
+	flag.Parse()
+
+	files, err := filepath.Glob(filepath.Join(*dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Println("benchdiff: no BENCH_*.json files, nothing to gate")
+		return
+	}
+	ok, report, err := diff(files, *tolerance)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(report)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// benchFile is the subset of a BENCH_*.json benchdiff understands. All
+// fields are optional: a family only gates on the metrics it records.
+type benchFile struct {
+	Date      string `json:"date"`
+	Benchmark string `json:"benchmark"`
+
+	Speedup    float64 `json:"speedup"`
+	P95Speedup float64 `json:"interactive_p95_speedup"`
+
+	Results []struct {
+		Name       string  `json:"name"`
+		Scheduler  string  `json:"scheduler"`
+		PointsPerS float64 `json:"points_per_s"`
+	} `json:"results"`
+
+	Acceptance *struct {
+		Criterion string `json:"criterion"`
+		Met       bool   `json:"met"`
+	} `json:"acceptance"`
+}
+
+// metrics flattens a benchFile into named higher-is-better scalars.
+func (b *benchFile) metrics() map[string]float64 {
+	m := map[string]float64{}
+	if b.Speedup > 0 {
+		m["speedup"] = b.Speedup
+	}
+	if b.P95Speedup > 0 {
+		m["interactive_p95_speedup"] = b.P95Speedup
+	}
+	for i, r := range b.Results {
+		if r.PointsPerS <= 0 {
+			continue
+		}
+		key := r.Name
+		if key == "" {
+			key = r.Scheduler
+		}
+		if key == "" {
+			key = fmt.Sprintf("result[%d]", i)
+		}
+		m["points_per_s/"+key] = r.PointsPerS
+	}
+	return m
+}
+
+// diff runs the gate over the given files and returns pass/fail plus a
+// human-readable report. Files are grouped by benchmark family; within a
+// family, lexically-sorted filenames order them (the BENCH_<date> naming
+// convention makes that chronological), and the newest is checked against
+// its predecessor.
+func diff(files []string, tolerance float64) (bool, string, error) {
+	type entry struct {
+		path string
+		b    benchFile
+	}
+	families := map[string][]entry{}
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return false, "", err
+		}
+		var b benchFile
+		if err := json.Unmarshal(raw, &b); err != nil {
+			return false, "", fmt.Errorf("%s: %w", f, err)
+		}
+		fam := b.Benchmark
+		if fam == "" {
+			fam = "(unnamed)"
+		}
+		families[fam] = append(families[fam], entry{path: f, b: b})
+	}
+
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ok := true
+	var out string
+	for _, fam := range names {
+		es := families[fam]
+		sort.Slice(es, func(i, j int) bool { return es[i].path < es[j].path })
+		newest := es[len(es)-1]
+
+		if a := newest.b.Acceptance; a != nil && !a.Met {
+			ok = false
+			out += fmt.Sprintf("FAIL %s: %s does not meet its own acceptance criterion (%s)\n",
+				fam, filepath.Base(newest.path), a.Criterion)
+		}
+		if len(es) == 1 {
+			out += fmt.Sprintf("ok   %s: %s is the only sample, nothing to compare\n",
+				fam, filepath.Base(newest.path))
+			continue
+		}
+		prev := es[len(es)-2]
+		newM, prevM := newest.b.metrics(), prev.b.metrics()
+		keys := make([]string, 0, len(prevM))
+		for k := range prevM {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		famOK := true
+		for _, k := range keys {
+			nv, present := newM[k]
+			if !present {
+				// A metric the newest file dropped is suspicious but not a
+				// regression: families may legitimately reshape. Report it.
+				out += fmt.Sprintf("note %s: metric %s present in %s but absent in %s\n",
+					fam, k, filepath.Base(prev.path), filepath.Base(newest.path))
+				continue
+			}
+			floor := prevM[k] * (1 - tolerance)
+			if nv < floor {
+				ok, famOK = false, false
+				out += fmt.Sprintf("FAIL %s: %s regressed %.4g → %.4g (floor %.4g at %.0f%% tolerance)\n",
+					fam, k, prevM[k], nv, floor, tolerance*100)
+			}
+		}
+		if famOK {
+			out += fmt.Sprintf("ok   %s: %s vs %s within %.0f%% tolerance\n",
+				fam, filepath.Base(newest.path), filepath.Base(prev.path), tolerance*100)
+		}
+	}
+	return ok, out, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDiffSingleFilePasses(t *testing.T) {
+	dir := t.TempDir()
+	f := writeBench(t, dir, "BENCH_2026-01-01.json",
+		`{"benchmark":"A","speedup":7.4,"acceptance":{"criterion":"x","met":true}}`)
+	ok, report, err := diff([]string{f}, 0.10)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v report=%q", ok, err, report)
+	}
+	if !strings.Contains(report, "only sample") {
+		t.Errorf("report should note single sample: %q", report)
+	}
+}
+
+func TestDiffRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBench(t, dir, "BENCH_2026-01-01.json", `{"benchmark":"A","speedup":7.4}`)
+	b := writeBench(t, dir, "BENCH_2026-02-01.json", `{"benchmark":"A","speedup":5.0}`)
+	ok, report, err := diff([]string{a, b}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("32%% drop must fail at 10%% tolerance: %q", report)
+	}
+	if !strings.Contains(report, "speedup regressed") {
+		t.Errorf("report should name the metric: %q", report)
+	}
+}
+
+func TestDiffWithinToleranceAndImprovementPass(t *testing.T) {
+	dir := t.TempDir()
+	a := writeBench(t, dir, "BENCH_2026-01-01.json",
+		`{"benchmark":"A","speedup":7.4,"results":[{"name":"n1","points_per_s":40}]}`)
+	b := writeBench(t, dir, "BENCH_2026-02-01.json",
+		`{"benchmark":"A","speedup":7.0,"results":[{"name":"n1","points_per_s":44}]}`)
+	ok, report, err := diff([]string{a, b}, 0.10)
+	if err != nil || !ok {
+		t.Fatalf("5%% drop and an improvement must pass: ok=%v err=%v report=%q", ok, err, report)
+	}
+}
+
+func TestDiffFamiliesAreIsolated(t *testing.T) {
+	// A slow family-B sample must not be compared against family A's
+	// numbers, whatever the filename ordering says.
+	dir := t.TempDir()
+	a := writeBench(t, dir, "BENCH_2026-01-01.json", `{"benchmark":"A","speedup":7.4}`)
+	b := writeBench(t, dir, "BENCH_2026-02-01_serving.json",
+		`{"benchmark":"B","interactive_p95_speedup":6.1,"results":[{"scheduler":"fair","points_per_s":40}]}`)
+	ok, report, err := diff([]string{a, b}, 0.10)
+	if err != nil || !ok {
+		t.Fatalf("distinct families must not cross-compare: ok=%v err=%v report=%q", ok, err, report)
+	}
+}
+
+func TestDiffFailedAcceptanceFails(t *testing.T) {
+	dir := t.TempDir()
+	f := writeBench(t, dir, "BENCH_2026-01-01.json",
+		`{"benchmark":"A","speedup":2.0,"acceptance":{"criterion":">= 5x","met":false}}`)
+	ok, report, err := diff([]string{f}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("met:false must fail the gate: %q", report)
+	}
+}
+
+func TestDiffSchedulerKeyedResults(t *testing.T) {
+	// Serving-bench results carry "scheduler" instead of "name"; a
+	// throughput drop there must still be caught.
+	dir := t.TempDir()
+	a := writeBench(t, dir, "BENCH_2026-01-01_serving.json",
+		`{"benchmark":"B","results":[{"scheduler":"fair","points_per_s":40}]}`)
+	b := writeBench(t, dir, "BENCH_2026-02-01_serving.json",
+		`{"benchmark":"B","results":[{"scheduler":"fair","points_per_s":20}]}`)
+	ok, report, err := diff([]string{a, b}, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || !strings.Contains(report, "points_per_s/fair") {
+		t.Fatalf("halved throughput must fail: ok=%v report=%q", ok, report)
+	}
+}

@@ -1,0 +1,336 @@
+// Command eccload is the serving-latency load generator for eccsimd: it
+// drives a daemon with the adversarial mix the fair scheduler exists for —
+// one large low-priority sweep saturating the queue while a steady trickle
+// of interactive submissions races it — and reports interactive latency
+// percentiles (p50/p95/p99), request rate, and sweep throughput as
+// machine-readable JSON.
+//
+// By default it self-hosts: each measured arm gets a fresh in-process
+// daemon (no network noise, no cross-arm cache pollution) and both
+// schedulers are measured back to back, fifo first:
+//
+//	eccload -sweep-points 1000 -probes 40 -out bench.json
+//
+// Point it at a running daemon instead with -addr (one arm, no restart):
+//
+//	eccload -addr http://localhost:8344 -scheduler fair
+//
+// Interactive probes use an analytic experiment with a unique seed per
+// probe, so every probe is a real compute job (the content-addressed cache
+// never short-circuits it). The sweep is watched over the streaming
+// ?watch= endpoint, which doubles as a load test of chunked delivery: the
+// report records how many point events arrived and the time to the first.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"eccparity/internal/serve"
+	"eccparity/pkg/api"
+)
+
+type config struct {
+	addr        string
+	scheduler   string
+	sweepPoints int
+	sweepExp    string
+	sweepTrials int
+	cycles      float64
+	warmup      int
+	probes      int
+	interval    time.Duration
+	probeExp    string
+	priority    string
+	jobWorkers  int
+	out         string
+}
+
+// armReport is one scheduler's measurement.
+type armReport struct {
+	Scheduler string `json:"scheduler"`
+
+	// Interactive probe latencies, submit → terminal, milliseconds.
+	Probes         int     `json:"probes"`
+	ProbeErrors    int     `json:"probe_errors"`
+	P50Ms          float64 `json:"interactive_p50_ms"`
+	P95Ms          float64 `json:"interactive_p95_ms"`
+	P99Ms          float64 `json:"interactive_p99_ms"`
+	MaxMs          float64 `json:"interactive_max_ms"`
+	InteractiveRPS float64 `json:"interactive_rps"`
+
+	// Sweep side: total wall time and aggregate throughput.
+	SweepPoints   int     `json:"sweep_points"`
+	SweepWallMs   float64 `json:"sweep_wall_ms"`
+	PointsPerS    float64 `json:"points_per_s"`
+	StreamEvents  int     `json:"stream_events"`
+	FirstStreamMs float64 `json:"first_stream_event_ms"`
+}
+
+type report struct {
+	Date    string `json:"date"`
+	Command string `json:"command"`
+	Host    struct {
+		GOOS         string `json:"goos"`
+		GOARCH       string `json:"goarch"`
+		VisibleCores int    `json:"visible_cores"`
+	} `json:"host"`
+	Benchmark string `json:"benchmark"`
+	Load      struct {
+		SweepPoints     int     `json:"sweep_points"`
+		SweepExperiment string  `json:"sweep_experiment"`
+		SweepTrials     int     `json:"sweep_trials"`
+		Cycles          float64 `json:"cycles"`
+		Warmup          int     `json:"warmup"`
+		Probes          int     `json:"probes"`
+		ProbeExperiment string  `json:"probe_experiment"`
+		IntervalMs      float64 `json:"probe_interval_ms"`
+		JobWorkers      int     `json:"job_workers"`
+	} `json:"load"`
+	Results []armReport `json:"results"`
+
+	// Cross-arm summary, present when both schedulers were measured.
+	P95SpeedupFIFOOverFair float64 `json:"interactive_p95_speedup,omitempty"`
+	ThroughputRatio        float64 `json:"throughput_fair_over_fifo,omitempty"`
+	Acceptance             *struct {
+		Criterion string `json:"criterion"`
+		Met       bool   `json:"met"`
+	} `json:"acceptance,omitempty"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "measure a running daemon at this base URL (empty: self-host one per arm)")
+	flag.StringVar(&cfg.scheduler, "scheduler", "both", "arm(s) to measure when self-hosting: fair, fifo, or both (with -addr, a label for the report)")
+	flag.IntVar(&cfg.sweepPoints, "sweep-points", 1000, "points in the background sweep")
+	flag.StringVar(&cfg.sweepExp, "sweep-experiment", "fig8", "experiment the sweep grids over")
+	flag.IntVar(&cfg.sweepTrials, "sweep-trials", 5, "Monte Carlo trials per sweep point (keep small: the backlog, not the point cost, is under test)")
+	flag.Float64Var(&cfg.cycles, "cycles", 20000, "simulated cycles per sweep point")
+	flag.IntVar(&cfg.warmup, "warmup", 2000, "warmup cycles per sweep point")
+	flag.IntVar(&cfg.probes, "probes", 40, "interactive submissions raced against the sweep")
+	flag.DurationVar(&cfg.interval, "interval", 150*time.Millisecond, "gap between interactive submissions")
+	flag.StringVar(&cfg.probeExp, "probe-experiment", "fig1", "experiment the interactive probes submit (analytic → cheap; unique seeds defeat the cache)")
+	flag.StringVar(&cfg.priority, "priority", "interactive", "priority class the probes submit under (interactive, sweep, or batch)")
+	flag.IntVar(&cfg.jobWorkers, "job-workers", 2, "job workers for self-hosted daemons")
+	flag.StringVar(&cfg.out, "out", "", "write the JSON report here (empty: stdout)")
+	flag.Parse()
+
+	if cfg.sweepPoints < 1 || cfg.probes < 1 {
+		log.Fatal("-sweep-points and -probes must be positive")
+	}
+
+	var arms []string
+	switch {
+	case cfg.addr != "":
+		arms = []string{cfg.scheduler}
+	case cfg.scheduler == "both":
+		arms = []string{"fifo", "fair"}
+	case cfg.scheduler == "fair" || cfg.scheduler == "fifo":
+		arms = []string{cfg.scheduler}
+	default:
+		log.Fatalf("-scheduler must be fair, fifo, or both: got %q", cfg.scheduler)
+	}
+
+	rep := report{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		Command:   fmt.Sprintf("eccload -sweep-points %d -probes %d -interval %v -scheduler %s", cfg.sweepPoints, cfg.probes, cfg.interval, cfg.scheduler),
+		Benchmark: "ServingLatencyUnderSweep",
+	}
+	rep.Host.GOOS = runtime.GOOS
+	rep.Host.GOARCH = runtime.GOARCH
+	rep.Host.VisibleCores = runtime.NumCPU()
+	rep.Load.SweepPoints = cfg.sweepPoints
+	rep.Load.SweepExperiment = cfg.sweepExp
+	rep.Load.SweepTrials = cfg.sweepTrials
+	rep.Load.Cycles = cfg.cycles
+	rep.Load.Warmup = cfg.warmup
+	rep.Load.Probes = cfg.probes
+	rep.Load.ProbeExperiment = cfg.probeExp
+	rep.Load.IntervalMs = float64(cfg.interval) / float64(time.Millisecond)
+	rep.Load.JobWorkers = cfg.jobWorkers
+
+	ctx := context.Background()
+	for _, arm := range arms {
+		ar, err := runArm(ctx, cfg, arm)
+		if err != nil {
+			log.Fatalf("arm %s: %v", arm, err)
+		}
+		log.Printf("%s: interactive p50=%.0fms p95=%.0fms p99=%.0fms, sweep %.1f points/s",
+			arm, ar.P50Ms, ar.P95Ms, ar.P99Ms, ar.PointsPerS)
+		rep.Results = append(rep.Results, ar)
+	}
+
+	if len(rep.Results) == 2 {
+		fifo, fair := rep.Results[0], rep.Results[1]
+		if fair.P95Ms > 0 {
+			rep.P95SpeedupFIFOOverFair = fifo.P95Ms / fair.P95Ms
+		}
+		if fifo.PointsPerS > 0 {
+			rep.ThroughputRatio = fair.PointsPerS / fifo.PointsPerS
+		}
+		rep.Acceptance = &struct {
+			Criterion string `json:"criterion"`
+			Met       bool   `json:"met"`
+		}{
+			Criterion: "interactive p95 under a concurrent sweep >= 5x better than FIFO, sweep throughput within 5%",
+			Met:       rep.P95SpeedupFIFOOverFair >= 5 && rep.ThroughputRatio >= 0.95,
+		}
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	out = append(out, '\n')
+	if cfg.out == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(cfg.out, out, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("report written to %s", cfg.out)
+}
+
+// runArm measures one scheduler: start (or dial) a daemon, launch the big
+// sweep, race interactive probes against it, wait for both, report.
+func runArm(ctx context.Context, cfg config, arm string) (armReport, error) {
+	ar := armReport{Scheduler: arm, SweepPoints: cfg.sweepPoints}
+
+	base := cfg.addr
+	if base == "" {
+		s, err := serve.New(serve.Options{
+			Workers:        1,
+			JobWorkers:     cfg.jobWorkers,
+			QueueCap:       cfg.sweepPoints + cfg.probes + 64,
+			MaxSweepPoints: cfg.sweepPoints,
+			FIFO:           arm == "fifo",
+		})
+		if err != nil {
+			return ar, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			s.Drain(drainCtx)
+		}()
+		base = ts.URL
+	}
+	c := api.NewClient(base)
+
+	seeds := make([]int64, cfg.sweepPoints)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	sweepStart := time.Now()
+	sw, err := c.SubmitSweep(ctx, api.SweepRequest{
+		Base: api.SubmitRequest{
+			Experiment: cfg.sweepExp,
+			Cycles:     cfg.cycles,
+			Warmup:     cfg.warmup,
+			Trials:     cfg.sweepTrials,
+			Submitter:  "eccload-sweep",
+		},
+		Axes: api.SweepAxes{Seed: seeds},
+	})
+	if err != nil {
+		return ar, fmt.Errorf("submit sweep: %w", err)
+	}
+
+	// Watch the sweep over the streaming endpoint while probes race it.
+	var (
+		sweepDone = make(chan error, 1)
+		streamMu  sync.Mutex
+	)
+	go func() {
+		_, err := c.WatchSweep(ctx, sw.ID, 30*time.Second, func(p api.SweepPoint) error {
+			streamMu.Lock()
+			ar.StreamEvents++
+			if ar.FirstStreamMs == 0 {
+				ar.FirstStreamMs = float64(time.Since(sweepStart)) / float64(time.Millisecond)
+			}
+			streamMu.Unlock()
+			return nil
+		})
+		sweepDone <- err
+	}()
+
+	// Interactive probes: one goroutine each, launched on a fixed cadence,
+	// every probe a distinct seed so it is computed, never cache-served.
+	lat := make([]float64, 0, cfg.probes)
+	var (
+		latMu  sync.Mutex
+		wg     sync.WaitGroup
+		errors int
+	)
+	probeStart := time.Now()
+	for i := 0; i < cfg.probes; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := c.Run(ctx, api.SubmitRequest{
+				Experiment: cfg.probeExp,
+				Seed:       seed,
+				Priority:   cfg.priority,
+				Submitter:  "eccload-probe",
+			}, 25*time.Millisecond)
+			latMu.Lock()
+			defer latMu.Unlock()
+			if err != nil {
+				errors++
+				return
+			}
+			lat = append(lat, float64(time.Since(t0))/float64(time.Millisecond))
+		}(int64(1_000_000 + i))
+		time.Sleep(cfg.interval)
+	}
+	wg.Wait()
+	probeWall := time.Since(probeStart)
+
+	if err := <-sweepDone; err != nil {
+		return ar, fmt.Errorf("watch sweep: %w", err)
+	}
+	sweepWall := time.Since(sweepStart)
+
+	ar.Probes = len(lat)
+	ar.ProbeErrors = errors
+	ar.P50Ms = percentile(lat, 50)
+	ar.P95Ms = percentile(lat, 95)
+	ar.P99Ms = percentile(lat, 99)
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		ar.MaxMs = lat[len(lat)-1]
+	}
+	ar.InteractiveRPS = float64(len(lat)) / probeWall.Seconds()
+	ar.SweepWallMs = float64(sweepWall) / float64(time.Millisecond)
+	ar.PointsPerS = float64(cfg.sweepPoints) / sweepWall.Seconds()
+	return ar, nil
+}
+
+// percentile returns the p-th percentile (nearest-rank) of xs in place.
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	rank := int(float64(len(xs))*p/100+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(xs) {
+		rank = len(xs) - 1
+	}
+	return xs[rank]
+}

@@ -49,6 +49,7 @@ func main() {
 	maxSweepPoints := flag.Int("max-sweep-points", serve.MaxSweepPointsDefault, "maximum points one sweep may expand to")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs before canceling stragglers")
 	progress := flag.Bool("progress", false, "emit per-experiment progress tickers on stderr")
+	scheduler := flag.String("scheduler", "fair", "dispatch policy: fair (weighted classes + per-submitter lanes) or fifo (single global queue; A/B baseline)")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -65,6 +66,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-cache-max-bytes must be non-negative")
 		os.Exit(2)
 	}
+	if *scheduler != "fair" && *scheduler != "fifo" {
+		fmt.Fprintf(os.Stderr, "-scheduler must be fair or fifo: got %q\n", *scheduler)
+		os.Exit(2)
+	}
 	opts := serve.Options{
 		Workers:        *workers,
 		JobWorkers:     *jobWorkers,
@@ -73,6 +78,7 @@ func main() {
 		CacheMaxBytes:  *cacheMaxBytes,
 		JobTimeout:     *jobTimeout,
 		MaxSweepPoints: *maxSweepPoints,
+		FIFO:           *scheduler == "fifo",
 	}
 	if *progress {
 		opts.Progress = os.Stderr
@@ -88,8 +94,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("eccsimd listening on %s (job workers %d, queue cap %d, cache dir %q)",
-		*addr, *jobWorkers, *queueCap, *cacheDir)
+	log.Printf("eccsimd listening on %s (job workers %d, queue cap %d, scheduler %s, cache dir %q)",
+		*addr, *jobWorkers, *queueCap, *scheduler, *cacheDir)
 
 	select {
 	case err := <-errc:

@@ -1,9 +1,18 @@
-// Package jobqueue is the bounded FIFO work queue behind the eccsimd
-// daemon: submitted tasks run on a fixed pool of worker goroutines (the
-// pool itself is one parallel.ForEach fan-out, reusing the repo's standard
-// pool plumbing), every job carries an externally visible status, and the
-// whole queue drains gracefully on shutdown — no accepted job is ever lost
-// or reported twice.
+// Package jobqueue is the bounded work queue behind the eccsimd daemon:
+// submitted tasks run on a fixed pool of worker goroutines (the pool itself
+// is one parallel.ForEach fan-out, reusing the repo's standard pool
+// plumbing), every job carries an externally visible status, and the whole
+// queue drains gracefully on shutdown — no accepted job is ever lost or
+// reported twice.
+//
+// Dispatch is fair, not FIFO: jobs queue under a (submitter, group)
+// fairness key inside one of three priority classes (interactive > sweep >
+// batch), lanes within a class drain round-robin one job per turn, and
+// classes share the workers by deficit-weighted round-robin (see sched).
+// FIFO order is preserved within a lane, so one submitter's jobs still run
+// in submission order, but a 10k-point sweep can no longer starve the
+// interactive submitter behind it. NewFIFO restores the old single-lane
+// global FIFO for A/B load measurements.
 package jobqueue
 
 import (
@@ -15,6 +24,7 @@ import (
 	"time"
 
 	"eccparity/internal/parallel"
+	"eccparity/internal/stats"
 )
 
 // Submission errors.
@@ -48,6 +58,25 @@ func (s Status) Terminal() bool {
 // honor it.
 type Task func(ctx context.Context) (any, error)
 
+// SubmitOptions tags a submission with its scheduling identity. The zero
+// value reproduces plain Submit: ungrouped, anonymous, interactive, no
+// deadline.
+type SubmitOptions struct {
+	// Group names the cancellation/notification group (the daemon uses one
+	// group per sweep; CancelGroup and ChangedGroup address it). "" means
+	// ungrouped.
+	Group string
+	// Submitter is the fairness identity: each (Submitter, Group) pair gets
+	// its own FIFO lane, so distinct submitters interleave instead of
+	// queueing behind each other. "" is the shared anonymous lane.
+	Submitter string
+	// Class is the priority class (default ClassInteractive).
+	Class Class
+	// Timeout is the per-job execution deadline counted from job start
+	// (0 = none); see SubmitTimeout.
+	Timeout time.Duration
+}
+
 // Snapshot is a consistent copy of a job's externally visible state.
 type Snapshot struct {
 	ID       string    `json:"id"`
@@ -56,19 +85,24 @@ type Snapshot struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
+	// Group and Class echo the submission's scheduling identity.
+	Group string `json:"group,omitempty"`
+	Class Class  `json:"class"`
 	// Result holds the task's return value once Status == StatusDone.
 	Result any `json:"-"`
 }
 
-// job is the internal record; all fields past task are guarded by Queue.mu.
+// job is the internal record; all fields past timeout are guarded by
+// Queue.mu.
 type job struct {
-	id      string
-	group   string // "" = ungrouped; see SubmitGroup / CancelGroup
-	task    Task
-	ctx     context.Context
-	cancel  context.CancelFunc
-	timeout time.Duration // 0 = no deadline; counted from job start
-
+	id       string
+	group    string // "" = ungrouped; see SubmitOptions.Group
+	schedKey string // fairness lane: schedKey(submitter, group)
+	class    Class
+	task     Task
+	ctx      context.Context
+	cancel   context.CancelFunc
+	timeout  time.Duration // 0 = no deadline; counted from job start
 	status   Status
 	err      string
 	result   any
@@ -82,27 +116,42 @@ type Counts struct {
 	Submitted, Done, Failed, Canceled uint64
 }
 
-// Queue is a bounded FIFO job queue with a fixed worker pool. All methods
-// are safe for concurrent use.
+// Queue is a bounded job queue with a fixed worker pool and fair dispatch.
+// All methods are safe for concurrent use.
 type Queue struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	groups   map[string][]*job
+	sched    sched
+	capacity int
 	closed   bool
 	nextID   uint64
 	inflight int
 	counts   Counts
-	change   chan struct{} // closed and replaced on every status transition
+	change   chan struct{}               // closed and replaced on every status transition
+	changeG  map[string]chan struct{}    // per-group transition channels (ChangedGroup)
+	dispatch chan struct{}               // closed and replaced whenever a job is queued (or on Close)
+	waitHist [numClasses]stats.Histogram // queue-wait ms per class
 
-	ch         chan *job
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	poolDone   chan struct{}
 }
 
-// New starts a queue holding at most capacity queued jobs, executed by
-// exactly workers goroutines. Both are clamped to ≥1.
+// New starts a fair-dispatch queue holding at most capacity queued jobs,
+// executed by exactly workers goroutines. Both are clamped to ≥1.
 func New(capacity, workers int) *Queue {
+	return newQueue(capacity, workers, false)
+}
+
+// NewFIFO starts a queue identical to New's except that dispatch is the
+// pre-scheduler global FIFO: one lane, priorities ignored. It exists so the
+// load generator can measure the fair scheduler against its baseline.
+func NewFIFO(capacity, workers int) *Queue {
+	return newQueue(capacity, workers, true)
+}
+
+func newQueue(capacity, workers int, fifo bool) *Queue {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -112,8 +161,11 @@ func New(capacity, workers int) *Queue {
 	q := &Queue{
 		jobs:     map[string]*job{},
 		groups:   map[string][]*job{},
-		ch:       make(chan *job, capacity),
+		sched:    sched{fifo: fifo},
+		capacity: capacity,
 		change:   make(chan struct{}),
+		changeG:  map[string]chan struct{}{},
+		dispatch: make(chan struct{}),
 		poolDone: make(chan struct{}),
 	}
 	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
@@ -125,40 +177,67 @@ func New(capacity, workers int) *Queue {
 		// Task panics are captured per job inside run, so the fan-out itself
 		// never errors and a bad job cannot kill the pool.
 		_ = parallel.ForEach(q.baseCtx, workers, workers, func(ctx context.Context, _ int) error {
-			for {
-				select {
-				case j, ok := <-q.ch:
-					if !ok {
-						return nil
-					}
-					q.run(j)
-				case <-ctx.Done():
-					// Forced drain: stop executing new work. The buffer is
-					// already closed (Drain closes before canceling), so this
-					// sweep terminates; every remaining job's context is a
-					// child of the canceled base context, so run marks it
-					// canceled without invoking the task.
-					for j := range q.ch {
-						q.run(j)
-					}
-					return nil
-				}
-			}
+			q.workerLoop(ctx)
+			return nil
 		})
 		// If cancellation raced the pool's startup, ForEach may have exited
 		// before any worker ran its loop; sweep whatever is left so every
 		// accepted job still reaches a terminal state.
-		for j := range q.ch {
-			q.run(j)
-		}
+		q.sweepRemaining()
 	}()
 	return q
 }
 
-// Submit enqueues a task FIFO and returns its job id. It never blocks:
-// a full buffer returns ErrFull, a closed queue ErrClosed.
+// workerLoop pops and runs scheduled jobs until the queue is closed and
+// empty, or the base context forces a drain.
+func (q *Queue) workerLoop(ctx context.Context) {
+	for {
+		q.mu.Lock()
+		if j := q.sched.pop(); j != nil {
+			q.mu.Unlock()
+			q.run(j)
+			continue
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		// Grab the dispatch channel before unlocking: a push (or Close)
+		// between the failed pop and the wait closes exactly this channel,
+		// so no wakeup is lost.
+		wait := q.dispatch
+		q.mu.Unlock()
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			// Forced drain: every queued job's context is a child of the
+			// canceled base context, so run marks it canceled without
+			// invoking the task.
+			q.sweepRemaining()
+			return
+		}
+	}
+}
+
+// sweepRemaining drains the scheduler, running (and, post-force, canceling)
+// every job still queued.
+func (q *Queue) sweepRemaining() {
+	for {
+		q.mu.Lock()
+		j := q.sched.pop()
+		q.mu.Unlock()
+		if j == nil {
+			return
+		}
+		q.run(j)
+	}
+}
+
+// Submit enqueues a task on the anonymous interactive lane and returns its
+// job id. It never blocks: a full buffer returns ErrFull, a closed queue
+// ErrClosed.
 func (q *Queue) Submit(task Task) (string, error) {
-	return q.SubmitTimeout(task, 0)
+	return q.SubmitWith(task, SubmitOptions{})
 }
 
 // SubmitTimeout is Submit with a per-job deadline, counted from the moment
@@ -167,37 +246,51 @@ func (q *Queue) Submit(task Task) (string, error) {
 // StatusFailed with context.DeadlineExceeded, distinct from an explicit
 // Cancel's StatusCanceled. A timeout of 0 means no deadline.
 func (q *Queue) SubmitTimeout(task Task, timeout time.Duration) (string, error) {
-	return q.SubmitGroup("", task, timeout)
+	return q.SubmitWith(task, SubmitOptions{Timeout: timeout})
 }
 
 // SubmitGroup is SubmitTimeout for a job tagged with a group name: every
 // non-terminal job of a group can be canceled in one call with CancelGroup
-// (the daemon uses one group per sweep). An empty group means ungrouped.
+// (the daemon uses one group per sweep, which is why a grouped submission
+// defaults to ClassSweep). An empty group means ungrouped and interactive.
 func (q *Queue) SubmitGroup(group string, task Task, timeout time.Duration) (string, error) {
+	class := ClassInteractive
+	if group != "" {
+		class = ClassSweep
+	}
+	return q.SubmitWith(task, SubmitOptions{Group: group, Class: class, Timeout: timeout})
+}
+
+// SubmitWith enqueues a task under explicit scheduling options. It never
+// blocks: a full buffer returns ErrFull, a closed queue ErrClosed.
+func (q *Queue) SubmitWith(task Task, o SubmitOptions) (string, error) {
+	if o.Class < 0 || int(o.Class) >= numClasses {
+		return "", fmt.Errorf("jobqueue: unknown class %d", o.Class)
+	}
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
-		q.mu.Unlock()
 		return "", ErrClosed
+	}
+	if q.sched.queued >= q.capacity {
+		return "", ErrFull
 	}
 	q.nextID++
 	id := fmt.Sprintf("job-%d", q.nextID)
 	ctx, cancel := context.WithCancel(q.baseCtx)
-	j := &job{id: id, group: group, task: task, ctx: ctx, cancel: cancel, timeout: timeout, status: StatusQueued, created: time.Now()}
-	// The send happens under the lock so it cannot race Close's close(ch).
-	select {
-	case q.ch <- j:
-		q.jobs[id] = j
-		if group != "" {
-			q.groups[group] = append(q.groups[group], j)
-		}
-		q.counts.Submitted++
-		q.mu.Unlock()
-		return id, nil
-	default:
-		q.mu.Unlock()
-		cancel()
-		return "", ErrFull
+	j := &job{
+		id: id, group: o.Group, schedKey: schedKey(o.Submitter, o.Group),
+		class: o.Class, task: task, ctx: ctx, cancel: cancel,
+		timeout: o.Timeout, status: StatusQueued, created: time.Now(),
 	}
+	q.jobs[id] = j
+	if o.Group != "" {
+		q.groups[o.Group] = append(q.groups[o.Group], j)
+	}
+	q.counts.Submitted++
+	q.sched.push(j)
+	q.bumpDispatchLocked()
+	return id, nil
 }
 
 // run executes one job on a pool worker, moving it through exactly one
@@ -216,8 +309,9 @@ func (q *Queue) run(j *job) {
 	}
 	j.status = StatusRunning
 	j.started = time.Now()
+	q.waitHist[j.class].Add(float64(j.started.Sub(j.created).Nanoseconds()) / 1e6)
 	q.inflight++
-	q.bumpLocked()
+	q.bumpLocked(j)
 	if j.timeout > 0 {
 		// The deadline clock starts here, not at Submit, so a job that sat
 		// in the buffer still gets its full budget. Replacing j.ctx under mu
@@ -258,23 +352,55 @@ func (q *Queue) finishLocked(j *job, s Status, res any, errMsg string) {
 	case StatusCanceled:
 		q.counts.Canceled++
 	}
-	q.bumpLocked()
+	q.bumpLocked(j)
 }
 
-// bumpLocked wakes everyone blocked on Changed (mu held).
-func (q *Queue) bumpLocked() {
+// bumpLocked wakes everyone blocked on Changed, plus — when the job is
+// grouped — everyone blocked on its group's ChangedGroup channel (mu held).
+// Ungrouped transitions never touch a group channel: that isolation is the
+// fix for the thundering-herd wakeups the global broadcast caused.
+func (q *Queue) bumpLocked(j *job) {
 	close(q.change)
 	q.change = make(chan struct{})
+	if j.group != "" {
+		if ch, ok := q.changeG[j.group]; ok {
+			close(ch)
+			q.changeG[j.group] = make(chan struct{})
+		}
+	}
+}
+
+// bumpDispatchLocked wakes idle workers after a push or Close (mu held).
+func (q *Queue) bumpDispatchLocked() {
+	close(q.dispatch)
+	q.dispatch = make(chan struct{})
 }
 
 // Changed returns a channel that is closed at the next job status
-// transition (queued→running or any terminal move). Grab the channel, read
-// whatever state is of interest, then wait on it: the close-and-replace
-// discipline means no transition between the grab and the wait is lost.
+// transition (queued→running or any terminal move), across all groups. Grab
+// the channel, read whatever state is of interest, then wait on it: the
+// close-and-replace discipline means no transition between the grab and the
+// wait is lost.
 func (q *Queue) Changed() <-chan struct{} {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.change
+}
+
+// ChangedGroup is Changed scoped to one group: the returned channel is
+// closed at the next status transition of a job submitted under that group,
+// and only then — transitions elsewhere in the queue do not touch it. A
+// sweep long-poller waiting on its own group is therefore never woken (and
+// never rescans its point list) because an unrelated job finished.
+func (q *Queue) ChangedGroup(group string) <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	ch, ok := q.changeG[group]
+	if !ok {
+		ch = make(chan struct{})
+		q.changeG[group] = ch
+	}
+	return ch
 }
 
 // runTask invokes the task, converting a panic into an error so one bad
@@ -299,13 +425,15 @@ func (q *Queue) Get(id string) (Snapshot, bool) {
 	return Snapshot{
 		ID: j.id, Status: j.status, Error: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
+		Group: j.group, Class: j.class,
 		Result: j.result,
 	}, true
 }
 
-// Cancel cancels a job: a queued job becomes terminal immediately, a
-// running job has its context canceled (tasks that honor it will stop).
-// It reports whether the job exists and was not already terminal.
+// Cancel cancels a job: a queued job becomes terminal immediately (and
+// leaves its dispatch lane), a running job has its context canceled (tasks
+// that honor it will stop). It reports whether the job exists and was not
+// already terminal.
 func (q *Queue) Cancel(id string) bool {
 	q.mu.Lock()
 	j, ok := q.jobs[id]
@@ -314,6 +442,7 @@ func (q *Queue) Cancel(id string) bool {
 		return false
 	}
 	if j.status == StatusQueued {
+		q.sched.remove(j)
 		q.finishLocked(j, StatusCanceled, nil, "canceled before start")
 	}
 	q.mu.Unlock()
@@ -335,6 +464,7 @@ func (q *Queue) CancelGroup(group string) int {
 			continue
 		}
 		if j.status == StatusQueued {
+			q.sched.remove(j)
 			q.finishLocked(j, StatusCanceled, nil, "canceled before start")
 		}
 		hit = append(hit, j)
@@ -346,8 +476,43 @@ func (q *Queue) CancelGroup(group string) int {
 	return len(hit)
 }
 
-// Depth returns the number of jobs waiting in the buffer.
-func (q *Queue) Depth() int { return len(q.ch) }
+// Depth returns the number of jobs waiting to be dispatched.
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.queued
+}
+
+// ClassDepth returns how many queued jobs class c holds. A FIFO queue files
+// everything under ClassInteractive.
+func (q *Queue) ClassDepth(c Class) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.sched.classDepth(c)
+}
+
+// OldestQueuedAge returns how long class c's oldest queued job has been
+// waiting, and whether the class has any queued job at all. It is the
+// starvation gauge: under a sustained higher-priority flood this age keeps
+// growing only if the weighted scheduler stops serving the class — which the
+// credit rounds make impossible.
+func (q *Queue) OldestQueuedAge(c Class) (time.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	t, ok := q.sched.oldestCreated(c)
+	if !ok {
+		return 0, false
+	}
+	return time.Since(t), true
+}
+
+// QueueWait returns a copy of class c's time-in-queue histogram
+// (milliseconds from submission to dispatch).
+func (q *Queue) QueueWait(c Class) stats.Histogram {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waitHist[c]
+}
 
 // InFlight returns the number of jobs currently executing.
 func (q *Queue) InFlight() int {
@@ -370,7 +535,8 @@ func (q *Queue) Close() {
 	defer q.mu.Unlock()
 	if !q.closed {
 		q.closed = true
-		close(q.ch)
+		// Wake idle workers so they observe closed-and-empty and exit.
+		q.bumpDispatchLocked()
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eccparity/internal/jobqueue"
 	"eccparity/internal/stats"
 )
 
@@ -92,6 +93,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("eccsimd_queue_depth", "Jobs waiting in the bounded submission queue.", s.queue.Depth())
 	gauge("eccsimd_jobs_inflight", "Experiment jobs currently executing.", s.queue.InFlight())
 
+	// Scheduler observability: per-class backlog, how long jobs of each
+	// class sit queued, and the age of the oldest still-queued job — the
+	// starvation signal (a class whose oldest age grows without bound is
+	// not being dispatched).
+	fmt.Fprintf(&b, "# HELP eccsimd_queue_class_depth Jobs waiting, by scheduling class.\n# TYPE eccsimd_queue_class_depth gauge\n")
+	for _, c := range jobqueue.Classes() {
+		fmt.Fprintf(&b, "eccsimd_queue_class_depth{class=%q} %d\n", c.String(), s.queue.ClassDepth(c))
+	}
+	fmt.Fprintf(&b, "# HELP eccsimd_queue_oldest_age_seconds Age of the oldest still-queued job, by scheduling class (0 when the class is empty).\n# TYPE eccsimd_queue_oldest_age_seconds gauge\n")
+	for _, c := range jobqueue.Classes() {
+		age := 0.0
+		if d, ok := s.queue.OldestQueuedAge(c); ok {
+			age = d.Seconds()
+		}
+		fmt.Fprintf(&b, "eccsimd_queue_oldest_age_seconds{class=%q} %.6f\n", c.String(), age)
+	}
+	b.WriteString("# HELP eccsimd_queue_wait_ms Time jobs spent queued before dispatch, by scheduling class.\n")
+	b.WriteString("# TYPE eccsimd_queue_wait_ms histogram\n")
+	for _, c := range jobqueue.Classes() {
+		h := s.queue.QueueWait(c)
+		writeHistogram(&b, "eccsimd_queue_wait_ms", fmt.Sprintf("class=%q", c.String()), &h)
+	}
+
 	qc := s.queue.Stats()
 	counter("eccsimd_jobs_submitted_total", "Jobs accepted into the queue.", qc.Submitted)
 	fmt.Fprintf(&b, "# HELP eccsimd_jobs_total Jobs by terminal status.\n# TYPE eccsimd_jobs_total counter\n")
@@ -131,7 +155,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		writeHistogram(&b, id, s.metrics.latency[id])
+		writeHistogram(&b, "eccsimd_experiment_latency_ms", fmt.Sprintf("experiment=%q", id), s.metrics.latency[id])
 	}
 	s.metrics.mu.Unlock()
 
@@ -140,10 +164,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeHistogram converts one stats.Histogram to Prometheus histogram
-// lines. Bucket 0 holds [0,1) and bucket i holds [2^(i-1), 2^i), so the
+// lines under the given metric name and label pair (`key="value"`).
+// Bucket 0 holds [0,1) and bucket i holds [2^(i-1), 2^i), so the
 // cumulative upper edges are le="1","2","4",… up to the last occupied
 // bucket, then le="+Inf".
-func writeHistogram(b *strings.Builder, experiment string, h *stats.Histogram) {
+func writeHistogram(b *strings.Builder, name, label string, h *stats.Histogram) {
 	top := 0
 	for i, c := range h.Buckets {
 		if c > 0 {
@@ -154,13 +179,12 @@ func writeHistogram(b *strings.Builder, experiment string, h *stats.Histogram) {
 	edge := 1.0
 	for i := 0; i <= top; i++ {
 		cum += h.Buckets[i]
-		fmt.Fprintf(b, "eccsimd_experiment_latency_ms_bucket{experiment=%q,le=%q} %d\n",
-			experiment, trimFloat(edge), cum)
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", name, label, trimFloat(edge), cum)
 		edge *= 2
 	}
-	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_bucket{experiment=%q,le=\"+Inf\"} %d\n", experiment, h.N)
-	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_sum{experiment=%q} %g\n", experiment, h.Sum)
-	fmt.Fprintf(b, "eccsimd_experiment_latency_ms_count{experiment=%q} %d\n", experiment, h.N)
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, label, h.N)
+	fmt.Fprintf(b, "%s_sum{%s} %g\n", name, label, h.Sum)
+	fmt.Fprintf(b, "%s_count{%s} %d\n", name, label, h.N)
 }
 
 // trimFloat renders bucket edges as integers ("1", "2", "4096").

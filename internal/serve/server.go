@@ -87,6 +87,10 @@ type Options struct {
 	// MaxSweepPoints caps how many points one sweep may expand to
 	// (default MaxSweepPointsDefault).
 	MaxSweepPoints int
+	// FIFO disables the fair scheduler and dispatches jobs in global
+	// submission order, ignoring priority and submitter — the pre-scheduler
+	// behavior, kept as the load generator's A/B baseline (-scheduler fifo).
+	FIFO bool
 	// Progress receives grid/campaign progress tickers (nil = silent).
 	Progress io.Writer
 }
@@ -129,9 +133,13 @@ func New(o Options) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	newQueue := jobqueue.New
+	if o.FIFO {
+		newQueue = jobqueue.NewFIFO
+	}
 	s := &Server{
 		opts:      o,
-		queue:     jobqueue.New(o.QueueCap, o.JobWorkers),
+		queue:     newQueue(o.QueueCap, o.JobWorkers),
 		cache:     cache,
 		metrics:   newMetrics(),
 		sweeps:    map[string]*sweepRec{},
@@ -196,6 +204,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, api.CodeBudgetTooLarge, "budget too large (max cycles %d, warmup %d, trials %d)", MaxCycles, MaxWarmup, MaxTrials)
 		return
 	}
+	if !api.ValidPriority(req.Priority) {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "unknown priority %q (valid: interactive, sweep, batch)", req.Priority)
+		return
+	}
 
 	p := report.Params{
 		Cycles: req.Cycles, Warmup: req.Warmup, Trials: req.Trials,
@@ -214,7 +226,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	id, err := s.queue.SubmitTimeout(s.pointTask(req.Experiment, p, key, false), s.effectiveTimeout(req.TimeoutSeconds))
+	id, err := s.queue.SubmitWith(s.pointTask(req.Experiment, p, key, false), jobqueue.SubmitOptions{
+		Submitter: req.Submitter,
+		Class:     priorityClass(req.Priority, jobqueue.ClassInteractive),
+		Timeout:   s.effectiveTimeout(req.TimeoutSeconds),
+	})
 	switch {
 	case errors.Is(err, jobqueue.ErrFull):
 		s.reject429(w, req.Experiment)
@@ -227,6 +243,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: id, Status: api.StatusQueued, ResultHash: key})
+}
+
+// priorityClass maps a wire priority to its scheduling class; the empty
+// string takes the endpoint's default (interactive for single submissions,
+// sweep for sweep points). Callers validate with api.ValidPriority first.
+func priorityClass(p string, def jobqueue.Class) jobqueue.Class {
+	switch p {
+	case api.PriorityInteractive:
+		return jobqueue.ClassInteractive
+	case api.PrioritySweep:
+		return jobqueue.ClassSweep
+	case api.PriorityBatch:
+		return jobqueue.ClassBatch
+	default:
+		return def
+	}
 }
 
 // pointTask builds the queue task that computes one (experiment, params)

@@ -60,6 +60,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "base cycles, warmup, trials and timeout_seconds must be non-negative (zero selects the default)")
 		return
 	}
+	if !api.ValidPriority(b.Priority) {
+		httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "unknown priority %q (valid: interactive, sweep, batch)", b.Priority)
+		return
+	}
 	points, err := report.ExpandSweep(b.Experiment,
 		report.Params{Cycles: b.Cycles, Warmup: b.Warmup, Trials: b.Trials, Seed: b.Seed, CSV: b.CSV},
 		report.SweepAxes{
@@ -97,7 +101,16 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	id := fmt.Sprintf("sweep-%d", s.nextSweep)
 	s.sweepMu.Unlock()
 
-	timeout := s.effectiveTimeout(b.TimeoutSeconds)
+	// Sweep points default to the low-priority sweep class so big grids
+	// interleave behind interactive traffic instead of starving it; an
+	// explicit base priority (e.g. batch) overrides. The submitter carries
+	// through so two tenants' sweeps drain round-robin.
+	subOpts := jobqueue.SubmitOptions{
+		Group:     id,
+		Submitter: b.Submitter,
+		Class:     priorityClass(b.Priority, jobqueue.ClassSweep),
+		Timeout:   s.effectiveTimeout(b.TimeoutSeconds),
+	}
 	recs := make([]sweepPointRec, 0, len(points))
 	cached := 0
 	for _, pt := range points {
@@ -113,7 +126,7 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			recs = append(recs, rec)
 			continue
 		}
-		jobID, err := s.queue.SubmitGroup(id, s.pointTask(pt.Experiment, pt.Params, key, true), timeout)
+		jobID, err := s.queue.SubmitWith(s.pointTask(pt.Experiment, pt.Params, key, true), subOpts)
 		if err != nil {
 			// All-or-nothing admission: roll the partial sweep back so a 429
 			// leaves nothing of it running.
@@ -213,15 +226,31 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 	return st
 }
 
-// handleSweepGet serves GET /v1/sweeps/{id}. Without ?wait= it answers
+// handleSweepGet serves GET /v1/sweeps/{id}. Without parameters it answers
 // immediately. With ?wait=<duration> it long-polls: the response is held
 // until a point reaches a terminal state (relative to the request's entry
 // snapshot), the sweep turns terminal, or the wait elapses — so a client
-// streaming point completions costs one request per step, not a poll spin.
+// polling point completions costs one request per step, not a poll spin.
+// With ?watch=<duration> it streams instead: newline-delimited
+// api.SweepEvent JSON, one "point" line per terminal point as it lands and
+// a closing "sweep" line (see handleSweepWatch).
+//
+// Both paths block on the sweep's own ChangedGroup channel, not the global
+// broadcast: a transition in an unrelated job or another sweep neither
+// wakes this handler nor triggers a rescan of this sweep's point list.
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	sw := s.lookupSweep(r.PathValue("id"))
 	if sw == nil {
 		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown sweep %q", r.PathValue("id"))
+		return
+	}
+	if watchStr := r.URL.Query().Get("watch"); watchStr != "" {
+		watch, err := time.ParseDuration(watchStr)
+		if err != nil || watch < 0 {
+			httpError(w, http.StatusBadRequest, api.CodeInvalidRequest, "watch must be a non-negative duration (e.g. 30s): got %q", watchStr)
+			return
+		}
+		s.handleSweepWatch(w, r, sw, watch)
 		return
 	}
 	terminalCount := func(st api.SweepStatus) int {
@@ -246,10 +275,10 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	defer timer.Stop()
 	expired := false
 	for !expired && !api.Terminal(st.Status) && terminalCount(st) == initial {
-		// Grab the change channel before re-reading status: a transition
+		// Grab the group channel before re-reading status: a transition
 		// between the read and the wait closes the channel we already hold,
 		// so no completion can slip through unobserved.
-		ch := s.queue.Changed()
+		ch := s.queue.ChangedGroup(sw.id)
 		if st = s.sweepStatus(sw); api.Terminal(st.Status) || terminalCount(st) != initial {
 			break
 		}
@@ -263,6 +292,63 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 		st = s.sweepStatus(sw)
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleSweepWatch streams per-point completions as chunked NDJSON: one
+// api.SweepEvent line per terminal point — already-terminal points first,
+// then each new completion the moment its group channel bumps — and a final
+// "sweep" line when the sweep turns terminal or the watch window elapses.
+// Each line is flushed immediately, so a client sees its first results in
+// milliseconds even when the grid takes minutes.
+func (s *Server) handleSweepWatch(w http.ResponseWriter, r *http.Request, sw *sweepRec, watch time.Duration) {
+	if watch > maxSweepWait {
+		watch = maxSweepWait
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev api.SweepEvent) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	timer := time.NewTimer(watch)
+	defer timer.Stop()
+	sent := make([]bool, len(sw.points))
+	for {
+		// Grab the group channel before scanning so no completion between
+		// the scan and the wait is lost.
+		ch := s.queue.ChangedGroup(sw.id)
+		st := s.sweepStatus(sw)
+		for i := range st.Points {
+			if sent[i] || !api.Terminal(st.Points[i].Status) {
+				continue
+			}
+			sent[i] = true
+			if !emit(api.SweepEvent{Type: "point", Point: &st.Points[i]}) {
+				return
+			}
+		}
+		if api.Terminal(st.Status) {
+			emit(api.SweepEvent{Type: "sweep", Sweep: &st})
+			return
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			emit(api.SweepEvent{Type: "sweep", Sweep: &st})
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleSweepCancel implements DELETE /v1/sweeps/{id}: every non-terminal

@@ -12,7 +12,8 @@
 //	DELETE /v1/jobs/{id}        cancel a job → JobStatus
 //	GET    /v1/results/{hash}   Result document (content-addressed)
 //	POST   /v1/sweeps           SweepRequest → SweepStatus (202, or 200 when fully cached)
-//	GET    /v1/sweeps/{id}      SweepStatus; ?wait=5s long-polls for progress
+//	GET    /v1/sweeps/{id}      SweepStatus; ?wait=5s long-polls for progress;
+//	                            ?watch=30s streams SweepEvent lines (NDJSON)
 //	DELETE /v1/sweeps/{id}      cancel every non-terminal point → SweepStatus
 //
 // Errors are an envelope with a machine-readable code:
@@ -46,6 +47,28 @@ func Terminal(status string) bool {
 	return status == StatusDone || status == StatusFailed || status == StatusCanceled
 }
 
+// Priority classes carried by SubmitRequest.Priority. Dispatch between
+// classes is weight-proportional (roughly 8:2:1 when all are backlogged),
+// not strict, so no class can be starved. An empty priority means
+// PriorityInteractive for single submissions and PrioritySweep for sweep
+// points — the defaults keep pre-priority clients byte-compatible and keep
+// big grids from starving interactive callers.
+const (
+	PriorityInteractive = "interactive"
+	PrioritySweep       = "sweep"
+	PriorityBatch       = "batch"
+)
+
+// ValidPriority reports whether p names a priority class ("" included,
+// meaning "use the endpoint's default").
+func ValidPriority(p string) bool {
+	switch p {
+	case "", PriorityInteractive, PrioritySweep, PriorityBatch:
+		return true
+	}
+	return false
+}
+
 // SubmitRequest is the POST /v1/experiments body. Zero-valued knobs
 // normalize to the full-fidelity defaults of cmd/eccsim (a zero seed means
 // seed 1), so partial requests collapse to one canonical identity before
@@ -65,6 +88,17 @@ type SubmitRequest struct {
 	// the same config computes the same bytes however long it was allowed
 	// to take.
 	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Priority selects the scheduling class (see the Priority* constants).
+	// Empty means the endpoint default: interactive for single submissions,
+	// sweep for sweep points. Like TimeoutSeconds, priority is NOT part of
+	// the result's cache identity — the same config produces byte-identical
+	// results whatever class computed them.
+	Priority string `json:"priority,omitempty"`
+	// Submitter is the fairness identity: the scheduler gives every
+	// (submitter, group) pair its own FIFO lane, so two submitters'
+	// backlogs interleave instead of queueing behind each other. Empty is
+	// the shared anonymous lane. Also excluded from cache identity.
+	Submitter string `json:"submitter,omitempty"`
 }
 
 // SubmitResponse answers POST /v1/experiments. On a cache hit (HTTP 200)
@@ -184,6 +218,25 @@ type SweepStatus struct {
 	Created  time.Time     `json:"created"`
 	Progress SweepProgress `json:"progress"`
 	Points   []SweepPoint  `json:"points"`
+}
+
+// SweepEvent is one line of the chunked event stream served by
+// GET /v1/sweeps/{id}?watch=<duration>: newline-delimited JSON, one event
+// per line, flushed as it happens so a client sees the first finished
+// points milliseconds after they complete instead of after the whole grid.
+//
+// Event order: first one "point" event per already-terminal point (so a
+// late watcher still sees the full picture), then a "point" event as each
+// remaining point reaches a terminal state, then exactly one final "sweep"
+// event carrying the aggregate status — emitted when the sweep turns
+// terminal or the watch window elapses, whichever comes first.
+type SweepEvent struct {
+	// Type is "point" (Point is set) or "sweep" (Sweep is set; final line).
+	Type string `json:"type"`
+	// Point is the terminal point the event announces.
+	Point *SweepPoint `json:"point,omitempty"`
+	// Sweep is the aggregate status closing the stream.
+	Sweep *SweepStatus `json:"sweep,omitempty"`
 }
 
 // ExperimentInfo is one registry entry in GET /v1/experiments.

@@ -167,6 +167,76 @@ func (c *Client) CancelSweep(ctx context.Context, id string) (SweepStatus, error
 	return out, err
 }
 
+// WatchSweep streams a sweep's per-point completions: it opens the chunked
+// NDJSON event stream (GET /v1/sweeps/{id}?watch=), invokes fn for every
+// "point" event as it arrives — the first finished points surface in
+// milliseconds, long before the grid completes — and reconnects watch-sized
+// windows until the sweep turns terminal or ctx is done. The terminal
+// aggregate status is returned; a non-nil error from fn aborts the stream
+// and is returned verbatim. wait ≤ 0 defaults to 10s windows.
+func (c *Client) WatchSweep(ctx context.Context, id string, wait time.Duration, fn func(SweepPoint) error) (SweepStatus, error) {
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	// Every window replays the already-terminal points first (so a late
+	// watcher sees the full picture); dedupe by index so fn observes each
+	// point exactly once across reconnects.
+	seen := map[int]bool{}
+	for {
+		st, err := c.watchOnce(ctx, id, wait, seen, fn)
+		if err != nil {
+			return SweepStatus{}, err
+		}
+		if Terminal(st.Status) {
+			return st, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+	}
+}
+
+// watchOnce consumes one watch window and returns its closing aggregate
+// status.
+func (c *Client) watchOnce(ctx context.Context, id string, wait time.Duration, seen map[int]bool, fn func(SweepPoint) error) (SweepStatus, error) {
+	resp, err := c.send(ctx, http.MethodGet, "/v1/sweeps/"+id+"?watch="+wait.String(), nil)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return SweepStatus{}, decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var last SweepStatus
+	sawFinal := false
+	for {
+		var ev SweepEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return SweepStatus{}, fmt.Errorf("api: decode sweep event: %w", err)
+		}
+		switch {
+		case ev.Type == "point" && ev.Point != nil:
+			if !seen[ev.Point.Index] {
+				seen[ev.Point.Index] = true
+				if fn != nil {
+					if err := fn(*ev.Point); err != nil {
+						return SweepStatus{}, err
+					}
+				}
+			}
+		case ev.Type == "sweep" && ev.Sweep != nil:
+			last, sawFinal = *ev.Sweep, true
+		}
+	}
+	if !sawFinal {
+		return SweepStatus{}, fmt.Errorf("api: sweep %s event stream ended without a final sweep event", id)
+	}
+	return last, nil
+}
+
 // WaitSweep long-polls a sweep until it reaches a terminal aggregate state
 // or ctx is done. Each round waits up to wait on the server side (default
 // 10s when ≤ 0). The terminal status is returned even when points failed or
