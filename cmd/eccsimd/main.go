@@ -19,6 +19,15 @@
 // jobs finish (up to -drain-timeout), results land in the cache, then the
 // process exits. See internal/serve for the API, internal/jobqueue and
 // internal/resultcache for the machinery.
+//
+// Multi-node: -peers + -node-id join a static consistent-hash fleet and
+// -blob-dir adds a shared result tier on a common mount, so replicas serve
+// each other's results byte-identically (see internal/cluster and
+// internal/blob):
+//
+//	eccsimd -addr :8344 -node-id a \
+//	    -peers 'a=http://h1:8344,b=http://h2:8344,c=http://h3:8344' \
+//	    -blob-dir /mnt/shared/eccsimd-blobs -cache-dir /var/cache/eccsimd
 package main
 
 import (
@@ -34,7 +43,9 @@ import (
 	"syscall"
 	"time"
 
+	"eccparity/internal/blob"
 	"eccparity/internal/cliflags"
+	"eccparity/internal/cluster"
 	"eccparity/internal/serve"
 )
 
@@ -50,6 +61,10 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "how long a shutdown waits for in-flight jobs before canceling stragglers")
 	progress := flag.Bool("progress", false, "emit per-experiment progress tickers on stderr")
 	scheduler := flag.String("scheduler", "fair", "dispatch policy: fair (weighted classes + per-submitter lanes) or fifo (single global queue; A/B baseline)")
+	nodeID := flag.String("node-id", "", "this replica's id in -peers (required with -peers)")
+	peersFlag := flag.String("peers", "", "full replica list as id=baseURL pairs, e.g. 'a=http://h1:8344,b=http://h2:8344' (empty: single node)")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the consistent-hash ring (must match across the fleet)")
+	blobDir := flag.String("blob-dir", "", "shared blob directory for the cross-replica result tier, e.g. an NFS mount (empty: none)")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -70,6 +85,22 @@ func main() {
 		fmt.Fprintf(os.Stderr, "-scheduler must be fair or fifo: got %q\n", *scheduler)
 		os.Exit(2)
 	}
+	var peers []cluster.Node
+	switch {
+	case *peersFlag != "":
+		var err error
+		if peers, err = cluster.ParsePeers(*peersFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *nodeID == "" {
+			fmt.Fprintln(os.Stderr, "-peers requires -node-id naming this replica's entry")
+			os.Exit(2)
+		}
+	case *nodeID != "":
+		fmt.Fprintln(os.Stderr, "-node-id is only meaningful with -peers")
+		os.Exit(2)
+	}
 	opts := serve.Options{
 		Workers:        *workers,
 		JobWorkers:     *jobWorkers,
@@ -79,9 +110,19 @@ func main() {
 		JobTimeout:     *jobTimeout,
 		MaxSweepPoints: *maxSweepPoints,
 		FIFO:           *scheduler == "fifo",
+		NodeID:         *nodeID,
+		Peers:          peers,
+		VNodes:         *vnodes,
 	}
 	if *progress {
 		opts.Progress = os.Stderr
+	}
+	if *blobDir != "" {
+		fs, err := blob.NewFS(*blobDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Blob = fs
 	}
 	s, err := serve.New(opts)
 	if err != nil {
@@ -96,6 +137,10 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("eccsimd listening on %s (job workers %d, queue cap %d, scheduler %s, cache dir %q)",
 		*addr, *jobWorkers, *queueCap, *scheduler, *cacheDir)
+	if len(peers) > 0 {
+		log.Printf("clustered as node %q: %d replicas, %d vnodes, shared blob dir %q",
+			*nodeID, len(peers), *vnodes, *blobDir)
+	}
 
 	select {
 	case err := <-errc:

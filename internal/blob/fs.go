@@ -1,0 +1,139 @@
+package blob
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// FS is the filesystem Backend: one framed file per key under a root
+// directory, fanned out into 256 subdirectories by the key's first hex byte
+// so a large corpus never piles a million entries into one directory. The
+// root can be a local path or a shared mount (NFS, SMB, a fuse'd object
+// store) — writes are tmp-file + rename, which is atomic on POSIX
+// filesystems and gives NFS readers the all-or-nothing visibility the
+// Backend contract requires.
+type FS struct {
+	root string
+}
+
+// NewFS opens (creating if needed) a filesystem backend rooted at dir.
+func NewFS(dir string) (*FS, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("blob: empty backend directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	return &FS{root: dir}, nil
+}
+
+// path fans key out under root: <root>/<key[0:2]>/<key>.blob.
+func (f *FS) path(key string) string {
+	return filepath.Join(f.root, key[:2], key+".blob")
+}
+
+// Put implements Backend. The frame is written to a tmp file in the root
+// and renamed into place, so a crash mid-write leaves only a tmp orphan,
+// never a truncated blob under a valid key.
+func (f *FS) Put(ctx context.Context, key string, payload []byte) error {
+	if !ValidKey(key) {
+		return ErrBadKey
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(f.path(key)), 0o755); err != nil {
+		return fmt.Errorf("blob: %w", err)
+	}
+	tmp, err := os.CreateTemp(f.root, key+".tmp*")
+	if err != nil {
+		return fmt.Errorf("blob: %w", err)
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(EncodeFrame(payload)); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("blob: %w", err)
+	}
+	if err := os.Rename(name, f.path(key)); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("blob: %w", err)
+	}
+	return nil
+}
+
+// Get implements Backend: read, verify the frame, and on any frame failure
+// delete the damaged file and report ErrCorrupt so the caller recomputes
+// instead of serving garbage — a corrupt blob must never outlive its first
+// read, or it would poison every replica that trusts the shared tier.
+func (f *FS) Get(ctx context.Context, key string) ([]byte, error) {
+	if !ValidKey(key) {
+		return nil, ErrBadKey
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b, err := os.ReadFile(f.path(key))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	payload, ok := DecodeFrame(b)
+	if !ok {
+		os.Remove(f.path(key))
+		return nil, ErrCorrupt
+	}
+	return payload, nil
+}
+
+// Delete implements Backend.
+func (f *FS) Delete(ctx context.Context, key string) error {
+	if !ValidKey(key) {
+		return ErrBadKey
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := os.Remove(f.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blob: %w", err)
+	}
+	return nil
+}
+
+// List implements Backend: every well-formed key found under the fan-out
+// directories. Tmp orphans and stray files are skipped, not errors.
+func (f *FS) List(ctx context.Context) ([]string, error) {
+	var keys []string
+	dirs, err := os.ReadDir(f.root)
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	for _, d := range dirs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !d.IsDir() || len(d.Name()) != 2 {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(f.root, d.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			key, ok := strings.CutSuffix(e.Name(), ".blob")
+			if ok && ValidKey(key) && strings.HasPrefix(key, d.Name()) {
+				keys = append(keys, key)
+			}
+		}
+	}
+	return keys, nil
+}

@@ -1,0 +1,167 @@
+package blob
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func key(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	fs, err := NewFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("hello")
+	payload := []byte(`{"result": 42}`)
+	if err := fs.Put(ctx, k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(ctx, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, want %q", got, payload)
+	}
+	// Overwrite is allowed and atomic.
+	if err := fs.Put(ctx, k, payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = fs.Get(ctx, k); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("Get after overwrite = %q, %v", got, err)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	fs, _ := NewFS(t.TempDir())
+	if _, err := fs.Get(context.Background(), key("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestBadKeyRejected(t *testing.T) {
+	fs, _ := NewFS(t.TempDir())
+	ctx := context.Background()
+	for _, k := range []string{"", "abc", "../../../../etc/passwd", key("x") + "0"} {
+		if err := fs.Put(ctx, k, []byte("p")); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Put(%q) = %v, want ErrBadKey", k, err)
+		}
+		if _, err := fs.Get(ctx, k); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Get(%q) = %v, want ErrBadKey", k, err)
+		}
+		if err := fs.Delete(ctx, k); !errors.Is(err, ErrBadKey) {
+			t.Errorf("Delete(%q) = %v, want ErrBadKey", k, err)
+		}
+	}
+}
+
+// A corrupted blob — truncated or bit-flipped — must be detected, deleted,
+// and reported as ErrCorrupt, never returned.
+func TestCorruptFrameDetectedAndDeleted(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs, _ := NewFS(dir)
+	cases := map[string][]byte{
+		key("truncated"): EncodeFrame([]byte("the full payload"))[:20],
+		key("bitflip"):   flipLastByte(EncodeFrame([]byte("the full payload"))),
+		key("garbage"):   []byte("not a frame at all"),
+		key("badmagic"):  append([]byte("xxxxx1 "), EncodeFrame([]byte("p"))[7:]...),
+	}
+	for name, data := range cases {
+		p := filepath.Join(dir, name[:2], name+".blob")
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Get(ctx, name); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("Get(%s) = %v, want ErrCorrupt", name, err)
+		}
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("corrupt blob %s not deleted", name)
+		}
+		// Second read: the corpse is gone, so it's a plain miss.
+		if _, err := fs.Get(ctx, name); !errors.Is(err, ErrNotFound) {
+			t.Errorf("Get(%s) after delete = %v, want ErrNotFound", name, err)
+		}
+	}
+}
+
+func flipLastByte(b []byte) []byte {
+	out := append([]byte(nil), b...)
+	out[len(out)-1] ^= 0xff
+	return out
+}
+
+func TestDeleteIdempotent(t *testing.T) {
+	ctx := context.Background()
+	fs, _ := NewFS(t.TempDir())
+	k := key("gone")
+	if err := fs.Delete(ctx, k); err != nil {
+		t.Fatalf("Delete(missing) = %v, want nil", err)
+	}
+	if err := fs.Put(ctx, k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, k); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Get(ctx, k); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestList(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs, _ := NewFS(dir)
+	want := []string{key("a"), key("b"), key("c")}
+	for _, k := range want {
+		if err := fs.Put(ctx, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stray files and tmp orphans must not be listed.
+	os.WriteFile(filepath.Join(dir, "README"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dir, want[0][:2], "stray.txt"), []byte("x"), 0o644)
+	got, err := fs.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	fs, _ := NewFS(t.TempDir())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	k := key("ctx")
+	if err := fs.Put(ctx, k, []byte("x")); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put = %v, want context.Canceled", err)
+	}
+	if _, err := fs.Get(ctx, k); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get = %v, want context.Canceled", err)
+	}
+}

@@ -70,6 +70,13 @@ type SubmitOptions struct {
 	// its own FIFO lane, so distinct submitters interleave instead of
 	// queueing behind each other. "" is the shared anonymous lane.
 	Submitter string
+	// Origin is the cluster peer that forwarded this submission ("" = a
+	// direct client submission). Admission treats a forwarded job like any
+	// other — same capacity check, same classes — but when Submitter is
+	// empty the origin seeds the fairness lane ("peer/<origin>"), so one
+	// peer's forwarded backlog interleaves with local traffic instead of
+	// flooding the shared anonymous lane.
+	Origin string
 	// Class is the priority class (default ClassInteractive).
 	Class Class
 	// Timeout is the per-job execution deadline counted from job start
@@ -85,9 +92,11 @@ type Snapshot struct {
 	Created  time.Time `json:"created"`
 	Started  time.Time `json:"started"`
 	Finished time.Time `json:"finished"`
-	// Group and Class echo the submission's scheduling identity.
-	Group string `json:"group,omitempty"`
-	Class Class  `json:"class"`
+	// Group and Class echo the submission's scheduling identity; Origin is
+	// the forwarding peer for jobs relayed across a cluster.
+	Group  string `json:"group,omitempty"`
+	Class  Class  `json:"class"`
+	Origin string `json:"origin,omitempty"`
 	// Result holds the task's return value once Status == StatusDone.
 	Result any `json:"-"`
 }
@@ -97,6 +106,7 @@ type Snapshot struct {
 type job struct {
 	id       string
 	group    string // "" = ungrouped; see SubmitOptions.Group
+	origin   string // forwarding peer; see SubmitOptions.Origin
 	schedKey string // fairness lane: schedKey(submitter, group)
 	class    Class
 	task     Task
@@ -278,9 +288,14 @@ func (q *Queue) SubmitWith(task Task, o SubmitOptions) (string, error) {
 	q.nextID++
 	id := fmt.Sprintf("job-%d", q.nextID)
 	ctx, cancel := context.WithCancel(q.baseCtx)
+	submitter := o.Submitter
+	if submitter == "" && o.Origin != "" {
+		submitter = "peer/" + o.Origin
+	}
 	j := &job{
-		id: id, group: o.Group, schedKey: schedKey(o.Submitter, o.Group),
-		class: o.Class, task: task, ctx: ctx, cancel: cancel,
+		id: id, group: o.Group, origin: o.Origin,
+		schedKey: schedKey(submitter, o.Group),
+		class:    o.Class, task: task, ctx: ctx, cancel: cancel,
 		timeout: o.Timeout, status: StatusQueued, created: time.Now(),
 	}
 	q.jobs[id] = j
@@ -425,7 +440,7 @@ func (q *Queue) Get(id string) (Snapshot, bool) {
 	return Snapshot{
 		ID: j.id, Status: j.status, Error: j.err,
 		Created: j.created, Started: j.started, Finished: j.finished,
-		Group: j.group, Class: j.class,
+		Group: j.group, Class: j.class, Origin: j.origin,
 		Result: j.result,
 	}, true
 }

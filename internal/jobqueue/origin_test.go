@@ -1,0 +1,59 @@
+package jobqueue
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// A forwarded submission records its origin and, absent an explicit
+// submitter, is filed under the peer's own fairness lane rather than the
+// anonymous one.
+func TestOriginLaneAndSnapshot(t *testing.T) {
+	q := New(8, 1)
+	defer q.Drain(context.Background())
+
+	id, err := q.SubmitWith(func(ctx context.Context) (any, error) { return nil, nil },
+		SubmitOptions{Origin: "node-b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := q.Get(id)
+	if !ok || snap.Origin != "node-b" {
+		t.Fatalf("snapshot = %+v, want Origin node-b", snap)
+	}
+
+	// White-box: the lane key must be the peer lane, not the anonymous one,
+	// and an explicit submitter must win over the origin.
+	q.mu.Lock()
+	peerKey := q.jobs[id].schedKey
+	q.mu.Unlock()
+	if want := schedKey("peer/node-b", ""); peerKey != want {
+		t.Fatalf("schedKey = %q, want %q", peerKey, want)
+	}
+	id2, err := q.SubmitWith(func(ctx context.Context) (any, error) { return nil, nil },
+		SubmitOptions{Origin: "node-b", Submitter: "alice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.mu.Lock()
+	aliceKey := q.jobs[id2].schedKey
+	q.mu.Unlock()
+	if want := schedKey("alice", ""); aliceKey != want {
+		t.Fatalf("schedKey with explicit submitter = %q, want %q", aliceKey, want)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		s1, _ := q.Get(id)
+		s2, _ := q.Get(id2)
+		if s1.Status.Terminal() && s2.Status.Terminal() {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("jobs did not finish")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

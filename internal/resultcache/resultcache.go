@@ -13,6 +13,17 @@
 // on read, deleted, and treated as a miss — the result is recomputed, never
 // served corrupted. The disk layer is bounded: when a byte budget is set,
 // least-recently-used entries are evicted to stay under it.
+//
+// Behind the local tiers an optional shared tier (internal/blob) turns the
+// cache into the fleet-wide store of a multi-node deployment: reads fall
+// through memory → local disk → shared blob, a shared hit is pulled into
+// the local tiers (read-through fill), and a freshly computed result is
+// published to the shared tier asynchronously (write-behind, so the compute
+// path never blocks on a network mount). The shared tier inherits the same
+// safety rules as the disk tier: blobs are checksummed frames, a corrupt
+// frame is deleted and recomputed locally — never served and never left to
+// poison other replicas — and singleflight still collapses concurrent
+// identical requests on this replica whichever tier ends up serving them.
 package resultcache
 
 import (
@@ -21,6 +32,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -29,6 +41,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"eccparity/internal/blob"
 )
 
 // Key returns the canonical content address of a config value: the SHA-256
@@ -67,6 +81,17 @@ type Stats struct {
 	// Corrupt: disk entries that failed their checksum frame and were
 	// deleted (each one recomputes as a miss).
 	Corrupt uint64
+	// SharedHits: lookups served by the shared blob tier (each one also
+	// counts in Hits and fills the local tiers).
+	SharedHits uint64
+	// SharedPublished: results successfully published to the shared tier.
+	SharedPublished uint64
+	// SharedCorrupt: shared blobs that failed their checksum frame; the
+	// backend deleted them and the result was recomputed locally.
+	SharedCorrupt uint64
+	// SharedErrors: shared-tier reads or publishes that failed for
+	// transport/IO reasons (the tier was treated as unavailable).
+	SharedErrors uint64
 	// Entries currently held in memory.
 	Entries int
 	// DiskEntries / DiskBytes describe the on-disk layer (0 when disabled).
@@ -93,6 +118,14 @@ type Cache struct {
 	dir      string // "" = memory only
 	maxBytes int64  // 0 = unbounded disk
 
+	// shared is the optional fleet-wide tier behind the local ones; nil
+	// keeps the cache purely local. pubWG tracks in-flight write-behind
+	// publishes; pubSem bounds how many run at once so a slow mount cannot
+	// pile up goroutines.
+	shared blob.Backend
+	pubWG  sync.WaitGroup
+	pubSem chan struct{}
+
 	mu       sync.Mutex
 	mem      map[string][]byte
 	inflight map[string]*flight
@@ -103,7 +136,23 @@ type Cache struct {
 	index map[string]*list.Element
 	bytes int64
 
-	hits, misses, coalesced, evicted, corrupt atomic.Uint64
+	hits, misses, coalesced, evicted, corrupt          atomic.Uint64
+	sharedHits, sharedPub, sharedCorrupt, sharedErrors atomic.Uint64
+}
+
+// Option configures optional cache behavior at construction.
+type Option func(*Cache)
+
+// WithShared attaches a shared blob backend as the tier behind the local
+// memory and disk layers: reads fall through to it, shared hits fill the
+// local tiers, and computed results are published to it write-behind. A nil
+// backend is ignored (single-node behavior unchanged).
+func WithShared(b blob.Backend) Option {
+	return func(c *Cache) {
+		if b != nil {
+			c.shared = b
+		}
+	}
 }
 
 // New creates a cache. A nonempty dir enables the on-disk layer (created if
@@ -112,11 +161,15 @@ type Cache struct {
 // least-recently-used entries are evicted first (0 = unbounded). The
 // existing corpus is indexed at startup, oldest-first by mtime, and trimmed
 // to the budget immediately.
-func New(dir string, maxDiskBytes int64) (*Cache, error) {
+func New(dir string, maxDiskBytes int64, opts ...Option) (*Cache, error) {
 	c := &Cache{
 		dir: dir, maxBytes: maxDiskBytes,
 		mem: map[string][]byte{}, inflight: map[string]*flight{},
 		lru: list.New(), index: map[string]*list.Element{},
+		pubSem: make(chan struct{}, 4),
+	}
+	for _, o := range opts {
+		o(c)
 	}
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -191,6 +244,9 @@ func (c *Cache) lookup(key string) ([]byte, bool) {
 	c.mu.Unlock()
 	b, ok := c.readDisk(key)
 	if !ok {
+		b, ok = c.readShared(key)
+	}
+	if !ok {
 		return nil, false
 	}
 	c.mu.Lock()
@@ -235,8 +291,16 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(ctx c
 	c.inflight[key] = f
 	c.mu.Unlock()
 
-	// Disk check outside the lock: a restart's corpus counts as a hit.
+	// Disk check outside the lock: a restart's corpus counts as a hit. The
+	// shared tier is consulted after local disk (read-through): a result
+	// another replica computed is a hit here too, and the fill below makes
+	// the next lookup purely local.
 	if b, ok := c.readDisk(key); ok {
+		c.settle(key, f, b, nil)
+		c.hits.Add(1)
+		return clone(b), true, nil
+	}
+	if b, ok := c.readShared(key); ok {
 		c.settle(key, f, b, nil)
 		c.hits.Add(1)
 		return clone(b), true, nil
@@ -246,6 +310,7 @@ func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func(ctx c
 	v, cerr := compute(ctx)
 	if cerr == nil {
 		c.persist(key, v)
+		c.publishShared(key, v)
 	}
 	c.settle(key, f, v, cerr)
 	if cerr != nil {
@@ -294,6 +359,65 @@ func (c *Cache) readDisk(key string) ([]byte, bool) {
 	}
 	c.mu.Unlock()
 	return payload, true
+}
+
+// readShared reads one entry from the shared blob tier and, on a hit,
+// fills the local disk tier so the next lookup stays off the shared mount.
+// A corrupt blob has already been deleted by the backend (see
+// blob.ErrCorrupt) and is a miss: the caller recomputes locally, and the
+// write-behind publish of that recompute repairs the shared tier with good
+// bytes. Transport errors degrade to a miss too — a flaky mount slows the
+// fleet down to per-replica recomputation, it never breaks it.
+func (c *Cache) readShared(key string) ([]byte, bool) {
+	if c.shared == nil || !validKey.MatchString(key) {
+		return nil, false
+	}
+	b, err := c.shared.Get(context.Background(), key)
+	switch {
+	case err == nil:
+		c.sharedHits.Add(1)
+		c.persist(key, b)
+		return b, true
+	case errors.Is(err, blob.ErrCorrupt):
+		c.sharedCorrupt.Add(1)
+	case errors.Is(err, blob.ErrNotFound):
+		// plain miss
+	default:
+		c.sharedErrors.Add(1)
+	}
+	return nil, false
+}
+
+// publishShared queues a write-behind publish of a freshly computed value
+// to the shared tier: the compute path returns immediately, a bounded
+// number of publisher goroutines push in the background, and FlushShared
+// waits for the backlog (the daemon flushes on drain so a clean shutdown
+// leaves everything it computed visible to the fleet). Publish failures are
+// counted and dropped — the local tiers still serve the value, and any
+// replica that misses the shared tier recomputes deterministically.
+func (c *Cache) publishShared(key string, v []byte) {
+	if c.shared == nil || !validKey.MatchString(key) {
+		return
+	}
+	val := clone(v)
+	c.pubWG.Add(1)
+	go func() {
+		defer c.pubWG.Done()
+		c.pubSem <- struct{}{}
+		defer func() { <-c.pubSem }()
+		if err := c.shared.Put(context.Background(), key, val); err != nil {
+			c.sharedErrors.Add(1)
+			return
+		}
+		c.sharedPub.Add(1)
+	}()
+}
+
+// FlushShared blocks until every queued write-behind publish has settled.
+// Call it before shutdown (and in tests) to make the shared tier catch up
+// with everything this replica computed.
+func (c *Cache) FlushShared() {
+	c.pubWG.Wait()
 }
 
 // persist writes the framed value to disk atomically (tmp + rename) so a
@@ -396,14 +520,18 @@ func (c *Cache) Stats() Stats {
 	diskBytes := c.bytes
 	c.mu.Unlock()
 	return Stats{
-		Hits:        c.hits.Load(),
-		Misses:      c.misses.Load(),
-		Coalesced:   c.coalesced.Load(),
-		Evicted:     c.evicted.Load(),
-		Corrupt:     c.corrupt.Load(),
-		Entries:     entries,
-		DiskEntries: diskEntries,
-		DiskBytes:   diskBytes,
+		Hits:            c.hits.Load(),
+		Misses:          c.misses.Load(),
+		Coalesced:       c.coalesced.Load(),
+		Evicted:         c.evicted.Load(),
+		Corrupt:         c.corrupt.Load(),
+		SharedHits:      c.sharedHits.Load(),
+		SharedPublished: c.sharedPub.Load(),
+		SharedCorrupt:   c.sharedCorrupt.Load(),
+		SharedErrors:    c.sharedErrors.Load(),
+		Entries:         entries,
+		DiskEntries:     diskEntries,
+		DiskBytes:       diskBytes,
 	}
 }
 

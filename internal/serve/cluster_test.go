@@ -1,0 +1,321 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eccparity/internal/blob"
+	"eccparity/internal/cluster"
+	"eccparity/internal/resultcache"
+	"eccparity/internal/sim/report"
+	"eccparity/pkg/api"
+)
+
+// clusterNode is one live replica of a test fleet: the Server, its HTTP
+// front end, and its ring identity.
+type clusterNode struct {
+	id   string
+	url  string
+	srv  *Server
+	http *http.Server
+
+	mu     sync.Mutex
+	killed bool
+}
+
+// kill abruptly terminates the replica: listener closed, in-flight
+// connections dropped — the closest in-process stand-in for a dead machine.
+// The Server's queue keeps running (a real crash would lose it too, but the
+// point under test is the peers' behavior, not the corpse's).
+func (n *clusterNode) kill() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.killed {
+		n.killed = true
+		n.http.Close()
+	}
+}
+
+// startCluster boots n replicas on loopback listeners that all know the
+// full member list, sharing one blob dir when blobDir != "". Listeners are
+// opened first so every Options can carry every replica's real address.
+func startCluster(t *testing.T, n int, blobDir string) ([]*clusterNode, *cluster.Ring) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]cluster.Node, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = cluster.Node{ID: string(rune('a' + i)), Addr: "http://" + ln.Addr().String()}
+	}
+	ring, err := cluster.New(peers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		o := Options{Workers: 2, NodeID: peers[i].ID, Peers: peers}
+		if blobDir != "" {
+			fs, err := blob.NewFS(blobDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o.Blob = fs
+		}
+		s, err := New(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: s.Handler()}
+		nodes[i] = &clusterNode{id: peers[i].ID, url: peers[i].Addr, srv: s, http: hs}
+		go hs.Serve(lns[i])
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.kill()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			nd.srv.Drain(ctx)
+			cancel()
+		}
+	})
+	return nodes, ring
+}
+
+// testParams is the reduced budget the single-node tests use, normalized
+// exactly as handleSubmit does, so content addresses match the server's.
+func testParams(seed int64) report.Params {
+	return report.Params{Cycles: 2000, Warmup: 200, Trials: 8, Seed: seed}.Normalized()
+}
+
+func keyFor(t *testing.T, experiment string, p report.Params) string {
+	t.Helper()
+	key, err := resultcache.Key(canonicalConfig{Experiment: experiment, Params: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// seedOwnedBy scans seeds until the resulting content address lands on the
+// wanted replica — the white-box way to steer test traffic across the ring.
+func seedOwnedBy(t *testing.T, ring *cluster.Ring, nodeID string, from int64) int64 {
+	t.Helper()
+	for seed := from; seed < from+10_000; seed++ {
+		if ring.Owner(keyFor(t, "table3", testParams(seed))).ID == nodeID {
+			return seed
+		}
+	}
+	t.Fatalf("no seed near %d owned by %s", from, nodeID)
+	return 0
+}
+
+func submitSeed(seed int64) api.SubmitRequest {
+	return api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8, Seed: seed}
+}
+
+// The tentpole e2e: a config submitted on replica a is routed to its ring
+// owner, computed once, and afterwards every replica serves the result
+// byte-identically — including a Cached=true answer for the same config
+// resubmitted on a different node.
+func TestClusterCrossNodeByteIdenticalServing(t *testing.T) {
+	nodes, ring := startCluster(t, 3, t.TempDir())
+	// A seed owned by b, submitted on a: exercises the forward path.
+	seed := seedOwnedBy(t, ring, "b", 1)
+
+	ca := api.NewClient(nodes[0].url)
+	ctx := context.Background()
+	sr, err := ca.Submit(ctx, submitSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Cached {
+		t.Fatalf("first submit unexpectedly cached: %+v", sr)
+	}
+	if !strings.HasPrefix(sr.JobID, "b:") {
+		t.Fatalf("job id %q not namespaced to owner b", sr.JobID)
+	}
+	// Poll through the origin: a proxies each read to b.
+	js, err := ca.Wait(ctx, sr.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Status != api.StatusDone {
+		t.Fatalf("job finished %s: %s", js.Status, js.Error)
+	}
+
+	// Push write-behind publishes into the shared tier, then read the
+	// result from every replica: all three must return the same bytes.
+	for _, nd := range nodes {
+		nd.srv.cache.FlushShared()
+	}
+	var want []byte
+	for i, nd := range nodes {
+		b, err := api.NewClient(nd.url).ResultBytes(ctx, sr.ResultHash)
+		if err != nil {
+			t.Fatalf("node %s result read: %v", nd.id, err)
+		}
+		if i == 0 {
+			want = b
+		} else if !bytes.Equal(b, want) {
+			t.Fatalf("node %s served different bytes than node a", nd.id)
+		}
+	}
+	if len(want) == 0 {
+		t.Fatal("empty result document")
+	}
+
+	// The same config on replica c is a cache hit — served without any
+	// recomputation, from c's shared tier or the owner's memory.
+	sr2, err := api.NewClient(nodes[2].url).Submit(ctx, submitSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sr2.Cached || sr2.ResultHash != sr.ResultHash {
+		t.Fatalf("resubmit on c: cached=%v hash=%s, want cached hit of %s", sr2.Cached, sr2.ResultHash, sr.ResultHash)
+	}
+
+	if got := nodes[0].srv.metrics.peerForwarded.Load(); got == 0 {
+		t.Error("node a forwarded nothing; ownership routing did not engage")
+	}
+	code, metrics := getBody(t, nodes[0].url+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(metrics), "eccsimd_cluster_nodes 3") {
+		t.Errorf("metrics missing cluster gauges (status %d)", code)
+	}
+}
+
+// An unreachable owner must not fail the submission: the receiving replica
+// executes the job itself (determinism makes the duplicate compute safe).
+func TestClusterForwardFallbackWhenOwnerDead(t *testing.T) {
+	nodes, ring := startCluster(t, 3, "")
+	seed := seedOwnedBy(t, ring, "c", 1)
+	nodes[2].kill()
+
+	ca := api.NewClient(nodes[0].url)
+	ctx := context.Background()
+	sr, err := ca.Submit(ctx, submitSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sr.JobID, "a:") {
+		t.Fatalf("job id %q: fallback should run locally on a", sr.JobID)
+	}
+	js, err := ca.Wait(ctx, sr.JobID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if js.Status != api.StatusDone {
+		t.Fatalf("fallback job finished %s: %s", js.Status, js.Error)
+	}
+	if got := nodes[0].srv.metrics.peerForwardFallback.Load(); got == 0 {
+		t.Error("peer_forward_fallback not counted")
+	}
+	if _, err := ca.ResultBytes(ctx, sr.ResultHash); err != nil {
+		t.Fatalf("result after fallback: %v", err)
+	}
+}
+
+// A 3-replica sweep must complete even when one replica is killed
+// mid-sweep: its points are adopted by the coordinator and recomputed
+// locally (or served from the shared tier), and every point stays
+// fetchable byte-identically from the survivors.
+func TestClusterSweepSurvivesReplicaDeath(t *testing.T) {
+	nodes, ring := startCluster(t, 3, t.TempDir())
+	// Four seeds: at least one owned by the doomed replica c and one by b,
+	// so the sweep genuinely spans the fleet.
+	seeds := []int64{
+		seedOwnedBy(t, ring, "a", 1),
+		seedOwnedBy(t, ring, "b", 1000),
+		seedOwnedBy(t, ring, "c", 2000),
+		seedOwnedBy(t, ring, "c", 3000),
+	}
+
+	ca := api.NewClient(nodes[0].url)
+	ctx := context.Background()
+	st, err := ca.SubmitSweep(ctx, api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8},
+		Axes: api.SweepAxes{Seed: seeds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(st.ID, "a:") {
+		t.Fatalf("sweep id %q not namespaced to its coordinator", st.ID)
+	}
+
+	// Kill c with its points admitted but the sweep still in flight.
+	nodes[2].kill()
+
+	final, err := ca.WaitSweep(ctx, st.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.StatusDone {
+		t.Fatalf("sweep finished %s: %+v", final.Status, final.Progress)
+	}
+	if final.Progress.Done != len(seeds) {
+		t.Fatalf("progress %+v, want all %d points done", final.Progress, len(seeds))
+	}
+	if got := nodes[0].srv.metrics.peerAdoptedPoints.Load(); got == 0 {
+		t.Error("no points adopted although the owner of two points died")
+	}
+
+	// Every point's result is served byte-identically by both survivors.
+	for _, nd := range nodes[:2] {
+		nd.srv.cache.FlushShared()
+	}
+	cb := api.NewClient(nodes[1].url)
+	for _, pt := range final.Points {
+		ba, err := ca.ResultBytes(ctx, pt.ResultHash)
+		if err != nil {
+			t.Fatalf("point %d on a: %v", pt.Index, err)
+		}
+		bb, err := cb.ResultBytes(ctx, pt.ResultHash)
+		if err != nil {
+			t.Fatalf("point %d on b: %v", pt.Index, err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("point %d bytes differ between replicas", pt.Index)
+		}
+	}
+}
+
+// Without a shared tier, a result read on a replica that never computed it
+// 307-redirects to the hash owner; the stock client follows transparently.
+func TestClusterResultRedirect(t *testing.T) {
+	nodes, ring := startCluster(t, 2, "")
+	seed := seedOwnedBy(t, ring, "b", 1)
+
+	ca := api.NewClient(nodes[0].url)
+	ctx := context.Background()
+	sr, err := ca.Submit(ctx, submitSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ca.Wait(ctx, sr.JobID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ca.ResultBytes(ctx, sr.ResultHash)
+	if err != nil {
+		t.Fatalf("redirected result read: %v", err)
+	}
+	direct, err := api.NewClient(nodes[1].url).ResultBytes(ctx, sr.ResultHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, direct) {
+		t.Fatal("redirected read returned different bytes than the owner")
+	}
+	if nodes[0].srv.metrics.resultsRedirected.Load() == 0 {
+		t.Error("results_redirected not counted")
+	}
+}

@@ -33,6 +33,17 @@ type metrics struct {
 	sweepPointsCached   atomic.Uint64
 	sweepPointsComputed atomic.Uint64
 	sweepCancels        atomic.Uint64
+
+	// Cluster counters (peer.go): submissions forwarded to their ring
+	// owner, forwards that fell back to local execution, reads proxied to
+	// peers, sweep points adopted from unreachable owners, and result
+	// reads answered with a 307 to the hash owner. Emitted only when the
+	// server is clustered, so single-node /metrics output is unchanged.
+	peerForwarded       atomic.Uint64
+	peerForwardFallback atomic.Uint64
+	peerProxiedReads    atomic.Uint64
+	peerAdoptedPoints   atomic.Uint64
+	resultsRedirected   atomic.Uint64
 }
 
 func newMetrics() *metrics {
@@ -145,6 +156,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		ratio = float64(cs.Hits+cs.Coalesced) / float64(total)
 	}
 	gauge("eccsimd_cache_hit_ratio", "Fraction of lookups served without recomputation.", fmt.Sprintf("%.6f", ratio))
+
+	// Shared-tier and cluster metrics are emitted only when those features
+	// are on, keeping single-node scrape output byte-compatible.
+	if s.opts.Blob != nil {
+		counter("eccsimd_cache_shared_hits_total", "Lookups served from the shared blob tier.", cs.SharedHits)
+		counter("eccsimd_cache_shared_published_total", "Results published (write-behind) to the shared blob tier.", cs.SharedPublished)
+		counter("eccsimd_cache_shared_corrupt_total", "Shared blobs that failed their checksum and were deleted.", cs.SharedCorrupt)
+		counter("eccsimd_cache_shared_errors_total", "Shared-tier reads or publishes that failed (tier unreachable).", cs.SharedErrors)
+	}
+	if s.clustered() {
+		ring := s.peers.ring
+		gauge("eccsimd_cluster_nodes", "Replicas in the static member list.", len(ring.Nodes()))
+		gauge("eccsimd_cluster_ring_vnodes", "Virtual nodes per replica on the consistent-hash ring.", ring.VNodes())
+		gauge("eccsimd_cluster_owned_fraction", "Fraction of content-address space this replica owns.",
+			fmt.Sprintf("%.6f", ring.OwnedFraction(s.peers.self.ID)))
+		counter("eccsimd_peer_forwarded_total", "Submissions forwarded to their ring owner.", s.metrics.peerForwarded.Load())
+		counter("eccsimd_peer_forward_fallback_total", "Forwards that fell back to local execution (owner unreachable or saturated).", s.metrics.peerForwardFallback.Load())
+		counter("eccsimd_peer_proxied_reads_total", "Job/sweep/result reads proxied to the replica holding the record.", s.metrics.peerProxiedReads.Load())
+		counter("eccsimd_peer_adopted_points_total", "Sweep points adopted locally after their owner stopped answering.", s.metrics.peerAdoptedPoints.Load())
+		counter("eccsimd_results_redirected_total", "Result reads answered with a 307 redirect to the hash owner.", s.metrics.resultsRedirected.Load())
+	}
 
 	b.WriteString("# HELP eccsimd_experiment_latency_ms Experiment computation latency (cache misses only).\n")
 	b.WriteString("# TYPE eccsimd_experiment_latency_ms histogram\n")

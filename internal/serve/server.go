@@ -37,6 +37,8 @@ import (
 	"sync"
 	"time"
 
+	"eccparity/internal/blob"
+	"eccparity/internal/cluster"
 	"eccparity/internal/jobqueue"
 	"eccparity/internal/resultcache"
 	"eccparity/internal/sim/report"
@@ -93,6 +95,21 @@ type Options struct {
 	FIFO bool
 	// Progress receives grid/campaign progress tickers (nil = silent).
 	Progress io.Writer
+
+	// NodeID and Peers turn the daemon into one replica of a static
+	// consistent-hash fleet (see peer.go). Peers must list every replica
+	// including this one; NodeID names this replica's entry. Leaving Peers
+	// empty keeps single-node behavior — wire format and /metrics output
+	// byte-identical to a non-clustered build.
+	NodeID string
+	Peers  []cluster.Node
+	// VNodes is the virtual-node count per replica on the ring
+	// (≤0 = cluster.DefaultVNodes). Must match across the fleet.
+	VNodes int
+	// Blob enables the shared result tier: every computed result is
+	// published (write-behind) to this backend and cache misses read
+	// through it, so replicas serve each other's results byte-identically.
+	Blob blob.Backend
 }
 
 // Server wires the queue, cache and metrics behind one http.Handler.
@@ -102,6 +119,7 @@ type Server struct {
 	cache   *resultcache.Cache
 	metrics *metrics
 	mux     *http.ServeMux
+	peers   *peering // nil = single-node
 
 	// executors is the batch-execution pool: one report.Executor per job
 	// worker, checked out for the duration of one compute, so consecutive
@@ -129,9 +147,19 @@ func New(o Options) (*Server, error) {
 	if o.MaxSweepPoints <= 0 {
 		o.MaxSweepPoints = MaxSweepPointsDefault
 	}
-	cache, err := resultcache.New(o.CacheDir, o.CacheMaxBytes)
+	var cacheOpts []resultcache.Option
+	if o.Blob != nil {
+		cacheOpts = append(cacheOpts, resultcache.WithShared(o.Blob))
+	}
+	cache, err := resultcache.New(o.CacheDir, o.CacheMaxBytes, cacheOpts...)
 	if err != nil {
 		return nil, err
+	}
+	var peers *peering
+	if len(o.Peers) > 0 {
+		if peers, err = newPeering(o.NodeID, o.Peers, o.VNodes); err != nil {
+			return nil, err
+		}
 	}
 	newQueue := jobqueue.New
 	if o.FIFO {
@@ -142,6 +170,7 @@ func New(o Options) (*Server, error) {
 		queue:     newQueue(o.QueueCap, o.JobWorkers),
 		cache:     cache,
 		metrics:   newMetrics(),
+		peers:     peers,
 		sweeps:    map[string]*sweepRec{},
 		executors: make(chan *report.Executor, o.JobWorkers),
 	}
@@ -173,7 +202,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // jobqueue.Queue.Drain). Call http.Server.Shutdown first so no new
 // submissions race the close.
 func (s *Server) Drain(ctx context.Context) error {
-	return s.queue.Drain(ctx)
+	err := s.queue.Drain(ctx)
+	// Flush write-behind publishes after the backlog settles, so a SIGTERM
+	// drain leaves every computed result in the shared tier for the
+	// surviving replicas.
+	s.cache.FlushShared()
+	return err
 }
 
 // canonicalConfig is exactly what gets hashed into the result address.
@@ -220,14 +254,27 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fast path: already computed — no job needed.
+	// Fast path: already computed — no job needed. In a fleet this checks
+	// memory, local disk, and the shared blob tier.
 	if _, ok := s.cache.Get(key); ok {
 		writeJSON(w, http.StatusOK, api.SubmitResponse{Status: api.StatusDone, ResultHash: key, Cached: true})
 		return
 	}
 
+	// Cluster routing: a submission whose content address is owned by
+	// another replica is forwarded there, so identical configs submitted
+	// anywhere coalesce on one node's singleflight. Relayed requests stay
+	// local (one-hop bound), and an unreachable owner falls through to
+	// local execution — determinism makes the duplicate compute safe.
+	if owner, local := s.owner(key); !local && !relayed(r) {
+		if s.forwardSubmit(w, r, owner, req) {
+			return
+		}
+	}
+
 	id, err := s.queue.SubmitWith(s.pointTask(req.Experiment, p, key, false), jobqueue.SubmitOptions{
 		Submitter: req.Submitter,
+		Origin:    r.Header.Get(relayHeader),
 		Class:     priorityClass(req.Priority, jobqueue.ClassInteractive),
 		Timeout:   s.effectiveTimeout(req.TimeoutSeconds),
 	})
@@ -242,7 +289,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, api.CodeInternal, "submit: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: id, Status: api.StatusQueued, ResultHash: key})
+	writeJSON(w, http.StatusAccepted, api.SubmitResponse{JobID: s.wireID(id), Status: api.StatusQueued, ResultHash: key})
 }
 
 // priorityClass maps a wire priority to its scheduling class; the empty
@@ -399,13 +446,26 @@ func jobStatus(snap jobqueue.Snapshot) api.JobStatus {
 	return js
 }
 
+// wireJobStatus renders a snapshot with its cluster-wire id ("a1:job-3" in
+// a fleet, the bare id single-node).
+func (s *Server) wireJobStatus(snap jobqueue.Snapshot) api.JobStatus {
+	js := jobStatus(snap)
+	js.ID = s.wireID(js.ID)
+	return js
+}
+
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	snap, ok := s.queue.Get(r.PathValue("id"))
+	node, local, remote := s.routeID(r.PathValue("id"))
+	if remote && !relayed(r) {
+		s.proxyToNode(w, r, node)
+		return
+	}
+	snap, ok := s.queue.Get(local)
 	if !ok {
 		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobStatus(snap))
+	writeJSON(w, http.StatusOK, s.wireJobStatus(snap))
 }
 
 // handleCancel implements DELETE /v1/jobs/{id}. A queued job is terminal in
@@ -414,27 +474,45 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // "running" — clients poll to the terminal "canceled". Idempotent: deleting
 // a finished job returns its final state unchanged.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	node, id, remote := s.routeID(r.PathValue("id"))
+	if remote && !relayed(r) {
+		s.proxyToNode(w, r, node)
+		return
+	}
 	if _, ok := s.queue.Get(id); !ok {
-		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", id)
+		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	if s.queue.Cancel(id) {
 		s.metrics.cancelRequests.Add(1)
 	}
 	snap, _ := s.queue.Get(id)
-	writeJSON(w, http.StatusOK, jobStatus(snap))
+	writeJSON(w, http.StatusOK, s.wireJobStatus(snap))
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
-	b, ok := s.cache.Peek(hash)
-	if !ok {
-		httpError(w, http.StatusNotFound, api.CodeNotFound, "no result for hash %q", hash)
+	if b, ok := s.cache.Peek(hash); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(b)
+	if s.clustered() && !relayed(r) {
+		// The local tiers missed. The hash owner is the replica most likely
+		// to hold the bytes — redirect the client there, unless it asked not
+		// to (no_redirect=1: it already followed a redirect into a dead
+		// node), in which case fan the read out to the peers ourselves.
+		owner, local := s.owner(hash)
+		if !local && r.URL.Query().Get("no_redirect") != "1" {
+			s.metrics.resultsRedirected.Add(1)
+			http.Redirect(w, r, owner.Addr+"/v1/results/"+hash, http.StatusTemporaryRedirect)
+			return
+		}
+		if s.proxyResultRead(w, r, hash) {
+			return
+		}
+	}
+	httpError(w, http.StatusNotFound, api.CodeNotFound, "no result for hash %q", hash)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

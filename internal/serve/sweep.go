@@ -12,10 +12,12 @@ package serve
 // 429 backpressure a single submission would.
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"eccparity/internal/jobqueue"
@@ -29,22 +31,53 @@ import (
 // its connection; clients long-poll in rounds.
 const maxSweepWait = 60 * time.Second
 
-// sweepPointRec is one expanded point's immutable record: its config, its
-// content address, and — unless it was served from cache at submission —
-// the job computing it.
+// remotePollInterval paces the owner polls for sweep points executing on
+// peers while a wait/watch request holds the connection.
+const remotePollInterval = 200 * time.Millisecond
+
+// sweepPointRec is one expanded point's record: its config, its content
+// address, and — unless it was served from cache at submission — the job
+// computing it. In a fleet a point may execute on its ring owner instead:
+// node/remoteJob/remote then track the remote job, and an owner that stops
+// answering gets the point adopted (resubmitted locally), after which the
+// point looks like any local one.
 type sweepPointRec struct {
 	experiment string
 	params     report.Params
 	hash       string
-	jobID      string // "" = cache hit at submit, no job
+	jobID      string // local job; "" = cache hit at submit, or remote
+
+	// Remote execution state (fleet sweeps only), guarded by sweepRec.mu.
+	node      string        // replica executing the point ("" = local)
+	remoteJob string        // the point's wire job id on that replica
+	remote    api.JobStatus // last polled remote status
+	adopting  bool          // an adoption submit is in flight
 }
 
-// sweepRec is the aggregate object behind /v1/sweeps/{id}. Immutable after
-// registration; live status is derived from the queue per read.
+// sweepRec is the aggregate object behind /v1/sweeps/{id}. The point list
+// and each point's config are fixed at registration; mu guards the remote
+// fields, which pollRemote rewrites as owners answer or die. Live local
+// status is derived from the queue per read.
 type sweepRec struct {
 	id      string
 	created time.Time
-	points  []sweepPointRec
+
+	mu     sync.Mutex
+	points []sweepPointRec
+}
+
+// liveRemote reports whether any point is still executing on a peer — the
+// signal for wait/watch loops to poll (remote completions do not bump the
+// local group channel).
+func (sw *sweepRec) liveRemote() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	for i := range sw.points {
+		if sw.points[i].node != "" && !api.Terminal(sw.points[i].remote.Status) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
@@ -111,12 +144,30 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		Class:     priorityClass(b.Priority, jobqueue.ClassSweep),
 		Timeout:   s.effectiveTimeout(b.TimeoutSeconds),
 	}
+	// Point priority on the remote wire: a forwarded point is a single
+	// submission over there, whose endpoint default is interactive — spell
+	// out the sweep default so remote points schedule like local ones.
+	pointPriority := b.Priority
+	if pointPriority == "" {
+		pointPriority = api.PrioritySweep
+	}
 	recs := make([]sweepPointRec, 0, len(points))
 	cached := 0
+	// All-or-nothing admission: roll the partial sweep back — local jobs by
+	// group, remote points by best-effort per-job cancels — so a 429 leaves
+	// nothing of it running anywhere.
+	rollback := func() {
+		s.queue.CancelGroup(id)
+		for i := range recs {
+			if recs[i].node != "" {
+				s.remoteCancel(r.Context(), recs[i].node, recs[i].remoteJob)
+			}
+		}
+	}
 	for _, pt := range points {
 		key, err := resultcache.Key(canonicalConfig{Experiment: pt.Experiment, Params: pt.Params})
 		if err != nil {
-			s.queue.CancelGroup(id)
+			rollback()
 			httpError(w, http.StatusInternalServerError, api.CodeInternal, "hashing config: %v", err)
 			return
 		}
@@ -126,11 +177,34 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			recs = append(recs, rec)
 			continue
 		}
+		// Fleet routing: a point owned by another replica executes there —
+		// identical points from overlapping sweeps coalesce on the owner's
+		// singleflight fleet-wide. An unreachable or saturated owner falls
+		// through to local execution.
+		if owner, local := s.owner(key); !local && !relayed(r) {
+			resp, ok := s.remoteSubmit(r.Context(), owner, api.SubmitRequest{
+				Experiment: pt.Experiment,
+				Cycles:     pt.Params.Cycles, Warmup: pt.Params.Warmup,
+				Trials: pt.Params.Trials, Seed: pt.Params.Seed, CSV: pt.Params.CSV,
+				TimeoutSeconds: b.TimeoutSeconds,
+				Priority:       pointPriority,
+				Submitter:      b.Submitter,
+			})
+			if ok {
+				if resp.Cached {
+					cached++
+				} else {
+					rec.node = owner.ID
+					rec.remoteJob = resp.JobID
+					rec.remote = api.JobStatus{ID: resp.JobID, Status: api.StatusQueued}
+				}
+				recs = append(recs, rec)
+				continue
+			}
+		}
 		jobID, err := s.queue.SubmitWith(s.pointTask(pt.Experiment, pt.Params, key, true), subOpts)
 		if err != nil {
-			// All-or-nothing admission: roll the partial sweep back so a 429
-			// leaves nothing of it running.
-			s.queue.CancelGroup(id)
+			rollback()
 			switch {
 			case errors.Is(err, jobqueue.ErrFull):
 				s.reject429(w, pt.Experiment)
@@ -169,12 +243,14 @@ func (s *Server) lookupSweep(id string) *sweepRec {
 	return s.sweeps[id]
 }
 
-// sweepStatus derives a sweep's wire status from the live queue: cached
-// points are done by construction, everything else reports its job's
-// current state.
+// sweepStatus derives a sweep's wire status: cached points are done by
+// construction, remote points report their last polled owner status, and
+// everything else reads its local job's current state from the queue.
 func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
 	st := api.SweepStatus{
-		ID: sw.id, Created: sw.created,
+		ID: s.wireID(sw.id), Created: sw.created,
 		Progress: api.SweepProgress{Total: len(sw.points)},
 		Points:   make([]api.SweepPoint, 0, len(sw.points)),
 	}
@@ -186,6 +262,27 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 				Trials: rec.params.Trials, Seed: rec.params.Seed, CSV: rec.params.CSV,
 			},
 		}
+		if rec.node != "" {
+			pt.JobID = rec.remoteJob
+			pt.Status, pt.Error = rec.remote.Status, rec.remote.Error
+			if pt.Status == "" {
+				pt.Status = api.StatusQueued
+			}
+			switch pt.Status {
+			case api.StatusQueued:
+				st.Progress.Queued++
+			case api.StatusRunning:
+				st.Progress.Running++
+			case api.StatusDone:
+				st.Progress.Done++
+			case api.StatusFailed:
+				st.Progress.Failed++
+			case api.StatusCanceled:
+				st.Progress.Canceled++
+			}
+			st.Points = append(st.Points, pt)
+			continue
+		}
 		if rec.jobID == "" {
 			pt.Status, pt.Cached = api.StatusDone, true
 			st.Progress.Done++
@@ -195,7 +292,7 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 			pt.Status, pt.Error = api.StatusFailed, "job record missing"
 			st.Progress.Failed++
 		} else {
-			pt.JobID = rec.jobID
+			pt.JobID = s.wireID(rec.jobID)
 			pt.Status, pt.Error = string(snap.Status), snap.Error
 			switch snap.Status {
 			case jobqueue.StatusQueued:
@@ -226,6 +323,65 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 	return st
 }
 
+// pollRemote refreshes every live remote point of a sweep and adopts the
+// points whose owner can no longer answer: the point is resubmitted locally
+// into the sweep's group and from then on behaves like any local point.
+// Adoption is idempotent-by-content — if the dead owner actually finished
+// the compute, the local re-run is served from the shared tier or
+// recomputed byte-identically, so the worst case is duplicated work.
+func (s *Server) pollRemote(ctx context.Context, sw *sweepRec) {
+	if !s.clustered() {
+		return
+	}
+	type probe struct {
+		i         int
+		node, job string
+	}
+	var probes []probe
+	sw.mu.Lock()
+	for i := range sw.points {
+		rec := &sw.points[i]
+		if rec.node != "" && !api.Terminal(rec.remote.Status) && !rec.adopting {
+			probes = append(probes, probe{i, rec.node, rec.remoteJob})
+		}
+	}
+	sw.mu.Unlock()
+	for _, pb := range probes {
+		js, ok := s.remoteJobStatus(ctx, pb.node, pb.job)
+		sw.mu.Lock()
+		rec := &sw.points[pb.i]
+		if rec.node != pb.node || rec.adopting {
+			sw.mu.Unlock() // another poller got here first
+			continue
+		}
+		if ok {
+			rec.remote = js
+			sw.mu.Unlock()
+			continue
+		}
+		rec.adopting = true
+		experiment, params, hash := rec.experiment, rec.params, rec.hash
+		sw.mu.Unlock()
+
+		jobID, err := s.queue.SubmitWith(s.pointTask(experiment, params, hash, true), jobqueue.SubmitOptions{
+			Group:   sw.id,
+			Class:   jobqueue.ClassSweep,
+			Timeout: s.opts.JobTimeout,
+		})
+		sw.mu.Lock()
+		rec = &sw.points[pb.i]
+		rec.adopting = false
+		if err == nil {
+			rec.node, rec.remoteJob, rec.remote = "", "", api.JobStatus{}
+			rec.jobID = jobID
+			s.metrics.peerAdoptedPoints.Add(1)
+		}
+		// A full or draining queue leaves the point remote; the next poll
+		// retries the owner and, failing that, adoption.
+		sw.mu.Unlock()
+	}
+}
+
 // handleSweepGet serves GET /v1/sweeps/{id}. Without parameters it answers
 // immediately. With ?wait=<duration> it long-polls: the response is held
 // until a point reaches a terminal state (relative to the request's entry
@@ -239,11 +395,19 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 // broadcast: a transition in an unrelated job or another sweep neither
 // wakes this handler nor triggers a rescan of this sweep's point list.
 func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
-	sw := s.lookupSweep(r.PathValue("id"))
+	node, localID, remote := s.routeID(r.PathValue("id"))
+	if remote && !relayed(r) {
+		// The sweep registry lives on the coordinator replica; route the
+		// read (including long-polls and watch streams) straight there.
+		s.proxyToNode(w, r, node)
+		return
+	}
+	sw := s.lookupSweep(localID)
 	if sw == nil {
 		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown sweep %q", r.PathValue("id"))
 		return
 	}
+	s.pollRemote(r.Context(), sw)
 	if watchStr := r.URL.Query().Get("watch"); watchStr != "" {
 		watch, err := time.ParseDuration(watchStr)
 		if err != nil || watch < 0 {
@@ -273,6 +437,14 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 	initial := terminalCount(st)
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
+	// Remote completions do not bump the local group channel, so a sweep
+	// with points executing on peers is additionally polled on a ticker.
+	tickCh := (<-chan time.Time)(nil)
+	if sw.liveRemote() {
+		tick := time.NewTicker(remotePollInterval)
+		defer tick.Stop()
+		tickCh = tick.C
+	}
 	expired := false
 	for !expired && !api.Terminal(st.Status) && terminalCount(st) == initial {
 		// Grab the group channel before re-reading status: a transition
@@ -284,6 +456,8 @@ func (s *Server) handleSweepGet(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-ch:
+		case <-tickCh:
+			s.pollRemote(r.Context(), sw)
 		case <-timer.C:
 			expired = true
 		case <-r.Context().Done():
@@ -321,6 +495,14 @@ func (s *Server) handleSweepWatch(w http.ResponseWriter, r *http.Request, sw *sw
 
 	timer := time.NewTimer(watch)
 	defer timer.Stop()
+	// Peer-executed points complete without bumping the local group
+	// channel; poll their owners on a ticker while any are live.
+	tickCh := (<-chan time.Time)(nil)
+	if sw.liveRemote() {
+		tick := time.NewTicker(remotePollInterval)
+		defer tick.Stop()
+		tickCh = tick.C
+	}
 	sent := make([]bool, len(sw.points))
 	for {
 		// Grab the group channel before scanning so no completion between
@@ -342,6 +524,8 @@ func (s *Server) handleSweepWatch(w http.ResponseWriter, r *http.Request, sw *sw
 		}
 		select {
 		case <-ch:
+		case <-tickCh:
+			s.pollRemote(r.Context(), sw)
 		case <-timer.C:
 			emit(api.SweepEvent{Type: "sweep", Sweep: &st})
 			return
@@ -356,7 +540,12 @@ func (s *Server) handleSweepWatch(w http.ResponseWriter, r *http.Request, sw *sw
 // immediately, running engines stop at their next context checkpoint
 // (milliseconds). Idempotent, like per-job DELETE.
 func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
-	sw := s.lookupSweep(r.PathValue("id"))
+	node, localID, remote := s.routeID(r.PathValue("id"))
+	if remote && !relayed(r) {
+		s.proxyToNode(w, r, node)
+		return
+	}
+	sw := s.lookupSweep(localID)
 	if sw == nil {
 		httpError(w, http.StatusNotFound, api.CodeNotFound, "unknown sweep %q", r.PathValue("id"))
 		return
@@ -364,6 +553,38 @@ func (s *Server) handleSweepCancel(w http.ResponseWriter, r *http.Request) {
 	if n := s.queue.CancelGroup(sw.id); n > 0 {
 		s.metrics.sweepCancels.Add(1)
 		s.metrics.cancelRequests.Add(uint64(n))
+	}
+	// Points executing on peers are canceled owner-side, best-effort, then
+	// polled once so the response reflects what the owners acknowledged.
+	sw.mu.Lock()
+	type rc struct{ node, job string }
+	var remotes []rc
+	for i := range sw.points {
+		rec := &sw.points[i]
+		if rec.node != "" && !api.Terminal(rec.remote.Status) {
+			remotes = append(remotes, rc{rec.node, rec.remoteJob})
+		}
+	}
+	sw.mu.Unlock()
+	for _, x := range remotes {
+		s.remoteCancel(r.Context(), x.node, x.job)
+		// Refresh without adoption — a cancel must never resurrect a dead
+		// owner's point as a fresh local job. An unreachable owner's jobs
+		// die with it, which under a cancel is the desired end state.
+		js, ok := s.remoteJobStatus(r.Context(), x.node, x.job)
+		sw.mu.Lock()
+		for i := range sw.points {
+			rec := &sw.points[i]
+			if rec.node != x.node || rec.remoteJob != x.job {
+				continue
+			}
+			if ok {
+				rec.remote = js
+			} else {
+				rec.remote.Status = api.StatusCanceled
+			}
+		}
+		sw.mu.Unlock()
 	}
 	writeJSON(w, http.StatusOK, s.sweepStatus(sw))
 }

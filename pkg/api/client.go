@@ -4,12 +4,49 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
+
+// Reconnect/retry backoff bounds: the first retry waits about
+// reconnectBase, each subsequent one doubles, capped at reconnectCap, and
+// every delay is jittered so a fleet of clients watching the same server
+// does not reconnect in lockstep after a restart.
+const (
+	reconnectBase = 100 * time.Millisecond
+	reconnectCap  = 5 * time.Second
+)
+
+// jittered scales d by a uniform factor in [0.5, 1.0).
+func jittered(d time.Duration) time.Duration {
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+}
+
+// sleepCtx waits for d or until ctx is done, reporting whether the full
+// wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// callbackError marks an error returned by a WatchSweep callback so the
+// reconnect loop surfaces it verbatim instead of retrying it.
+type callbackError struct{ err error }
+
+func (e *callbackError) Error() string { return e.err.Error() }
+func (e *callbackError) Unwrap() error { return e.err }
 
 // Client is a thin, dependency-free client for the eccsimd v1 API. The
 // zero-ish value from NewClient is ready to use; methods are safe for
@@ -174,6 +211,12 @@ func (c *Client) CancelSweep(ctx context.Context, id string) (SweepStatus, error
 // windows until the sweep turns terminal or ctx is done. The terminal
 // aggregate status is returned; a non-nil error from fn aborts the stream
 // and is returned verbatim. wait ≤ 0 defaults to 10s windows.
+//
+// Transport failures and mid-stream cuts (a server restart, a dropped
+// proxy) are retried with capped exponential backoff plus jitter rather
+// than a tight reconnect loop; the delay resets after any successful
+// window. API-level errors (*Error, e.g. an unknown sweep id) abort
+// immediately.
 func (c *Client) WatchSweep(ctx context.Context, id string, wait time.Duration, fn func(SweepPoint) error) (SweepStatus, error) {
 	if wait <= 0 {
 		wait = 10 * time.Second
@@ -182,16 +225,36 @@ func (c *Client) WatchSweep(ctx context.Context, id string, wait time.Duration, 
 	// watcher sees the full picture); dedupe by index so fn observes each
 	// point exactly once across reconnects.
 	seen := map[int]bool{}
+	delay := reconnectBase
 	for {
 		st, err := c.watchOnce(ctx, id, wait, seen, fn)
-		if err != nil {
-			return SweepStatus{}, err
-		}
-		if Terminal(st.Status) {
-			return st, nil
-		}
-		if err := ctx.Err(); err != nil {
-			return st, err
+		switch {
+		case err == nil:
+			delay = reconnectBase
+			if Terminal(st.Status) {
+				return st, nil
+			}
+			if err := ctx.Err(); err != nil {
+				return st, err
+			}
+		default:
+			var cbErr *callbackError
+			if errors.As(err, &cbErr) {
+				return SweepStatus{}, cbErr.err
+			}
+			var apiErr *Error
+			if errors.As(err, &apiErr) {
+				return SweepStatus{}, err
+			}
+			if ctx.Err() != nil {
+				return SweepStatus{}, ctx.Err()
+			}
+			if !sleepCtx(ctx, jittered(delay)) {
+				return SweepStatus{}, ctx.Err()
+			}
+			if delay *= 2; delay > reconnectCap {
+				delay = reconnectCap
+			}
 		}
 	}
 }
@@ -223,7 +286,7 @@ func (c *Client) watchOnce(ctx context.Context, id string, wait time.Duration, s
 				seen[ev.Point.Index] = true
 				if fn != nil {
 					if err := fn(*ev.Point); err != nil {
-						return SweepStatus{}, err
+						return SweepStatus{}, &callbackError{err}
 					}
 				}
 			}
@@ -329,7 +392,46 @@ func (c *Client) send(ctx context.Context, method, path string, in any) (*http.R
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return hc.Do(req)
+	resp, err := hc.Do(req)
+	if err != nil && method == http.MethodGet {
+		if retry, ok := c.redirectRetry(ctx, path, err); ok {
+			return retry, nil
+		}
+	}
+	return resp, err
+}
+
+// redirectRetry handles a failed cross-node redirect hop: a clustered
+// server may answer a read with 307 to the owning replica, and that
+// replica can die between issuing the redirect and the client following
+// it. When the transport error's URL points at a different host than
+// BaseURL, the origin is retried once with no_redirect=1 — it then
+// proxies or answers definitively itself.
+func (c *Client) redirectRetry(ctx context.Context, path string, err error) (*http.Response, bool) {
+	var ue *url.Error
+	if !errors.As(err, &ue) || strings.HasPrefix(ue.URL, c.BaseURL+"/") || ue.URL == c.BaseURL {
+		return nil, false
+	}
+	if !sleepCtx(ctx, jittered(reconnectBase)) {
+		return nil, false
+	}
+	sep := "?"
+	if strings.Contains(path, "?") {
+		sep = "&"
+	}
+	req, rerr := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path+sep+"no_redirect=1", nil)
+	if rerr != nil {
+		return nil, false
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, rerr := hc.Do(req)
+	if rerr != nil {
+		return nil, false
+	}
+	return resp, true
 }
 
 // decodeError turns a non-2xx response into an *Error, falling back to the
