@@ -460,3 +460,42 @@ func BenchmarkSingleRunHotPath(b *testing.B) {
 		sim.Run(cfg)
 	}
 }
+
+// BenchmarkHarpProfile is the HARP-style profiling campaign added with the
+// scheme layer: iterative at-risk-bit discovery with the on-die corrector
+// active vs bypassed. The headline metrics are the final coverage split the
+// harpprofile experiment serves and the campaign throughput.
+func BenchmarkHarpProfile(b *testing.B) {
+	cfg := faultmodel.HarpConfig{
+		Words: 64, AtRiskPerWord: 3, ErrorProb: 0.25, Rounds: 16,
+		Trials: 256, Seed: 1, Workers: runtime.NumCPU(),
+	}
+	var res faultmodel.HarpResult
+	for i := 0; i < b.N; i++ {
+		res = faultmodel.ProfileHarp(cfg)
+	}
+	final := res.Final()
+	b.ReportMetric(100*final.RawCoverage, "raw_cov_pct")
+	b.ReportMetric(100*final.ActiveCoverage, "active_cov_pct")
+	b.ReportMetric(float64(cfg.Trials*b.N)/b.Elapsed().Seconds(), "trials_per_s")
+}
+
+// BenchmarkOnDieCompositeCorrect measures the cross-layer codec hot path:
+// encode, on-die scrub, and rank-level correct of one 128B line under the
+// ondie+chipkill composite.
+func BenchmarkOnDieCompositeCorrect(b *testing.B) {
+	s := ecc.ByName("ondie+chipkill")
+	line := make([]byte, s.Geometry().LineSize)
+	for i := range line {
+		line[i] = byte(i * 37)
+	}
+	b.SetBytes(int64(len(line)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cw, corr := s.Encode(line)
+		cw.Shards[i%len(cw.Shards)][0] ^= 0x10
+		if _, _, err := s.Correct(cw, corr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,13 @@
 //	eccsim -exp undetected# §VI-D undetectable error estimate
 //	eccsim -exp all       # everything above
 //
+// The daemon-first scheme-aware experiments (schemeeval, faultinject,
+// harpprofile) run here too when named explicitly; -scheme and
+// -scheme-options select their resilience scheme:
+//
+//	eccsim -exp faultinject -scheme ondie+raim18
+//	eccsim -exp schemeeval -scheme ondie+chipkill -scheme-options '{"passthrough":true}'
+//
 // Use -cycles and -warmup to trade fidelity for speed. -workers bounds the
 // worker pool the simulation grid and Monte Carlo fan out over (default
 // NumCPU) and -seed fixes the workload/Monte Carlo seed. Results depend
@@ -48,6 +55,8 @@ func main() {
 	cycles := flag.Float64("cycles", 400000, "measured cycles per simulation")
 	warmup := flag.Int("warmup", 60000, "per-core LLC warmup accesses")
 	trials := flag.Int("trials", 2000, "Monte Carlo trials for EOL studies")
+	scheme := flag.String("scheme", "", "resilience scheme for scheme-aware experiments (empty = experiment default; eccsimd's GET /v1/schemes lists keys)")
+	schemeOptions := flag.String("scheme-options", "", `scheme constructor options JSON, e.g. '{"passthrough":true}'`)
 	common := cliflags.Register(flag.CommandLine)
 	flag.BoolVar(&csvOut, "csv", false, "emit comparison figures as CSV rows")
 	flag.Parse()
@@ -72,12 +81,14 @@ func main() {
 	defer stop()
 
 	runErr := runExperiments(ctx, *exp, runParams{
-		Cycles:   *cycles,
-		Warmup:   *warmup,
-		Trials:   *trials,
-		Seed:     common.Seed,
-		Workers:  common.Workers,
-		Progress: os.Stderr,
+		Cycles:        *cycles,
+		Warmup:        *warmup,
+		Trials:        *trials,
+		Seed:          common.Seed,
+		Workers:       common.Workers,
+		Scheme:        *scheme,
+		SchemeOptions: *schemeOptions,
+		Progress:      os.Stderr,
 	})
 	stopProf()
 	switch {
@@ -102,12 +113,14 @@ var csvOut bool
 // runParams carries the CLI knobs into the experiment dispatcher; the golden
 // regression test drives the same path at a reduced budget.
 type runParams struct {
-	Cycles   float64
-	Warmup   int
-	Trials   int
-	Seed     int64
-	Workers  int
-	Progress io.Writer
+	Cycles        float64
+	Warmup        int
+	Trials        int
+	Seed          int64
+	Workers       int
+	Scheme        string
+	SchemeOptions string
+	Progress      io.Writer
 }
 
 // runExperiments dispatches one experiment id (or "all") through the
@@ -115,10 +128,11 @@ type runParams struct {
 // a canceled ctx returns its error with nothing further printed. Stdout
 // depends only on the params, never on scheduling.
 func runExperiments(ctx context.Context, exp string, p runParams) error {
-	r := report.NewRunner(report.Params{
+	params := report.Params{
 		Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials,
 		Seed: p.Seed, Workers: p.Workers, CSV: csvOut,
-	}, p.Progress)
+		Scheme: p.Scheme, SchemeOptions: p.SchemeOptions,
+	}
 	ids := report.EccsimIDs()
 	if exp != "all" {
 		if !known(exp) {
@@ -126,6 +140,21 @@ func runExperiments(ctx context.Context, exp string, p runParams) error {
 		}
 		ids = []string{exp}
 	}
+	// Scheme flags are validated and canonicalized through the same
+	// normalization path the daemon hashes; experiments that take no scheme
+	// run with the exact params they always have (the golden byte pin).
+	if exp == "all" {
+		if params.Scheme != "" || params.SchemeOptions != "" {
+			return fmt.Errorf("-scheme/-scheme-options apply to a single scheme-aware experiment (%v), not -exp all", report.ServeIDs())
+		}
+	} else if params.Scheme != "" || params.SchemeOptions != "" || report.SchemeAware(exp) {
+		norm, err := params.NormalizedFor(exp)
+		if err != nil {
+			return err
+		}
+		params = norm
+	}
+	r := report.NewRunner(params, p.Progress)
 	for _, id := range ids {
 		rep, err := r.RunContext(ctx, id)
 		if err != nil {
@@ -136,10 +165,16 @@ func runExperiments(ctx context.Context, exp string, p runParams) error {
 	return nil
 }
 
-// known reports whether exp is an eccsim experiment (fig2/fig8/fig18 are
-// registered but belong to cmd/faultmc, which this CLI still redirects to).
+// known reports whether exp runs in this CLI: the historical `-exp all` set
+// plus the daemon-first scheme-aware ids (fig2/fig8/fig18 are registered
+// but belong to cmd/faultmc, which this CLI still redirects to).
 func known(exp string) bool {
 	for _, id := range report.EccsimIDs() {
+		if id == exp {
+			return true
+		}
+	}
+	for _, id := range report.ServeIDs() {
 		if id == exp {
 			return true
 		}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"context"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureRun executes runExperiments with stdout captured and returns what
+// it printed.
+func captureRun(t *testing.T, exp string, p runParams) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	var sb strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(&sb, r)
+		done <- err
+	}()
+	runErr := runExperiments(context.Background(), exp, p)
+	w.Close()
+	os.Stdout = old
+	if err := <-done; err != nil {
+		t.Fatalf("draining stdout: %v", err)
+	}
+	return sb.String(), runErr
+}
+
+// TestSchemeFlagSelectsScheme: the daemon-first ids run from this CLI when
+// named explicitly, and -scheme changes which scheme they evaluate.
+func TestSchemeFlagSelectsScheme(t *testing.T) {
+	p := goldenParams
+	p.Trials = 8
+	p.Progress = io.Discard
+
+	p.Scheme = "ondie-sec"
+	out, err := captureRun(t, "faultinject", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "on-die SEC") || !strings.Contains(out, "chip-kill") {
+		t.Errorf("faultinject -scheme ondie-sec output:\n%s", out)
+	}
+
+	p.Scheme = ""
+	base, err := captureRun(t, "faultinject", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == out {
+		t.Error("default scheme and ondie-sec produced identical output")
+	}
+}
+
+// TestSchemeFlagValidation: scheme flags on scheme-blind experiments and
+// unknown schemes fail before any output, and -exp all rejects them.
+func TestSchemeFlagValidation(t *testing.T) {
+	p := goldenParams
+	p.Trials = 8
+	p.Progress = io.Discard
+
+	p.Scheme = "chipkill36"
+	if out, err := captureRun(t, "fig1", p); err == nil || out != "" {
+		t.Errorf("scheme on a scheme-blind experiment: err=%v out=%q, want error with no output", err, out)
+	}
+	if out, err := captureRun(t, "all", p); err == nil || out != "" {
+		t.Errorf("-exp all with a scheme: err=%v out=%q, want error with no output", err, out)
+	}
+	p.Scheme = "nope"
+	if _, err := captureRun(t, "faultinject", p); err == nil {
+		t.Error("unknown scheme must error")
+	}
+}

@@ -1,0 +1,200 @@
+package dram
+
+// On-die ECC: modern DRAM devices (DDR5, LPDDR4 and onward) correct
+// single-bit array faults inside the chip with a per-fetch Hamming SEC
+// code, invisibly to the memory controller. The rank-level scheme
+// therefore never observes the raw array error profile — it sees the
+// POST-correction profile, in which single-bit faults vanish and
+// multi-bit faults may be silently distorted into different multi-bit
+// patterns (a miscorrection flips a third, previously-good bit). That
+// masking/distortion is the effect the HARP profiler experiment measures
+// and the cross-layer (on-die + rank-level) schemes in internal/ecc are
+// built around, so the codec lives here, in the chip model.
+
+import "fmt"
+
+// OnDieSEC is a single-error-correcting Hamming code over one chip's
+// per-access data fetch. Positions are the classic 1-indexed Hamming
+// layout: check bits sit at power-of-two positions, data bits fill the
+// rest, and the syndrome of a single flipped bit IS its position. The
+// codec is pure and stateless after construction; one instance serves any
+// number of goroutines.
+type OnDieSEC struct {
+	dataBits  int
+	checkBits int
+	n         int   // total code length in bits
+	posOfData []int // data bit index -> Hamming position (1-based)
+	dataOfPos []int // Hamming position -> data bit index, -1 for checks
+}
+
+// NewOnDieSEC builds the code for a per-access fetch of dataBytes bytes.
+// The check-bit count r is the smallest satisfying 2^r >= dataBits+r+1 —
+// 7 checks for the 8-byte (71,64) fetch of a DDR5-style x8 device.
+func NewOnDieSEC(dataBytes int) *OnDieSEC {
+	if dataBytes <= 0 {
+		panic(fmt.Sprintf("dram: on-die SEC data size must be positive (got %d)", dataBytes))
+	}
+	dataBits := dataBytes * 8
+	r := 1
+	for (1 << r) < dataBits+r+1 {
+		r++
+	}
+	c := &OnDieSEC{dataBits: dataBits, checkBits: r, n: dataBits + r}
+	c.posOfData = make([]int, dataBits)
+	c.dataOfPos = make([]int, c.n+1)
+	for i := range c.dataOfPos {
+		c.dataOfPos[i] = -1
+	}
+	i := 0
+	for pos := 1; pos <= c.n; pos++ {
+		if pos&(pos-1) == 0 { // power of two: check-bit position
+			continue
+		}
+		c.posOfData[i] = pos
+		c.dataOfPos[pos] = i
+		i++
+	}
+	return c
+}
+
+// DataBits returns the protected data width in bits.
+func (c *OnDieSEC) DataBits() int { return c.dataBits }
+
+// CheckBits returns the check-bit count of the code.
+func (c *OnDieSEC) CheckBits() int { return c.checkBits }
+
+// CheckBytes returns the stored check-bit footprint in whole bytes.
+func (c *OnDieSEC) CheckBytes() int { return (c.checkBits + 7) / 8 }
+
+// Overhead returns the in-array redundancy fraction (check bits per data
+// bit) — the knob Chip.WithOnDieECC charges energy for.
+func (c *OnDieSEC) Overhead() float64 { return float64(c.checkBits) / float64(c.dataBits) }
+
+func getBit(b []byte, i int) int  { return int(b[i>>3]>>(i&7)) & 1 }
+func flipBit(b []byte, i int)     { b[i>>3] ^= 1 << (i & 7) }
+func setBit(b []byte, i, v int)   { b[i>>3] = b[i>>3]&^(1<<(i&7)) | byte(v)<<(i&7) }
+func (c *OnDieSEC) checkLen() int { return c.CheckBytes() }
+
+// syndrome XORs the Hamming positions of every set bit: data bits at
+// their mapped positions, check bit j at position 2^j.
+func (c *OnDieSEC) syndrome(data, checks []byte) int {
+	s := 0
+	for i := 0; i < c.dataBits; i++ {
+		if getBit(data, i) != 0 {
+			s ^= c.posOfData[i]
+		}
+	}
+	for j := 0; j < c.checkBits; j++ {
+		if getBit(checks, j) != 0 {
+			s ^= 1 << j
+		}
+	}
+	return s
+}
+
+// Encode computes the check bits of a clean data fetch: each check bit is
+// chosen so the codeword's total syndrome is zero.
+func (c *OnDieSEC) Encode(data []byte) []byte {
+	if len(data)*8 != c.dataBits {
+		panic(fmt.Sprintf("dram: on-die SEC encode: got %d data bytes, want %d", len(data), c.dataBits/8))
+	}
+	checks := make([]byte, c.checkLen())
+	s := 0
+	for i := 0; i < c.dataBits; i++ {
+		if getBit(data, i) != 0 {
+			s ^= c.posOfData[i]
+		}
+	}
+	for j := 0; j < c.checkBits; j++ {
+		setBit(checks, j, (s>>j)&1)
+	}
+	return checks
+}
+
+// ScrubOutcome classifies one on-die decode.
+type ScrubOutcome int
+
+// Scrub outcomes. A SEC code cannot distinguish a true single-bit error
+// from a multi-bit error whose syndrome aliases a valid position: both
+// report ScrubCorrected. In the aliasing case the "correction" flips a
+// third, previously-good bit — the miscorrection distortion HARP profiles
+// for — which only a caller with ground truth can observe.
+const (
+	// ScrubClean: zero syndrome, nothing touched.
+	ScrubClean ScrubOutcome = iota
+	// ScrubCorrected: the syndrome named a code position and that bit was
+	// flipped in place (possibly a miscorrection under a multi-bit error).
+	ScrubCorrected
+	// ScrubDetected: the syndrome names no position — the error is
+	// visible but beyond the code; data is left untouched.
+	ScrubDetected
+)
+
+// String names the outcome.
+func (o ScrubOutcome) String() string {
+	switch o {
+	case ScrubClean:
+		return "clean"
+	case ScrubCorrected:
+		return "corrected"
+	case ScrubDetected:
+		return "detected"
+	}
+	return "unknown"
+}
+
+// ScrubResult reports what one Scrub did. Bit is the flipped DATA bit
+// index, or -1 when nothing was flipped or the repair landed on a check
+// bit (invisible to the controller either way).
+type ScrubResult struct {
+	Outcome ScrubOutcome
+	Bit     int
+}
+
+// Scrub runs the in-chip decode over a fetched (data, checks) pair,
+// repairing a correctable bit in place — in data or in checks — exactly as
+// the device's read path would before driving the I/O pins. The caller's
+// slices are mutated; pass copies to model a read that leaves the array
+// untouched.
+func (c *OnDieSEC) Scrub(data, checks []byte) ScrubResult {
+	s := c.syndrome(data, checks)
+	switch {
+	case s == 0:
+		return ScrubResult{Outcome: ScrubClean, Bit: -1}
+	case s <= c.n:
+		if i := c.dataOfPos[s]; i >= 0 {
+			flipBit(data, i)
+			return ScrubResult{Outcome: ScrubCorrected, Bit: i}
+		}
+		// A check-bit position: repair the stored check bit. The data the
+		// chip drives out was never wrong.
+		for j := 0; j < c.checkBits; j++ {
+			if 1<<j == s {
+				flipBit(checks, j)
+				break
+			}
+		}
+		return ScrubResult{Outcome: ScrubCorrected, Bit: -1}
+	default:
+		return ScrubResult{Outcome: ScrubDetected, Bit: -1}
+	}
+}
+
+// WithOnDieECC charges a chip for an on-die ECC array: every activate and
+// burst moves (1+overhead)× the bits through the core, so the dynamic
+// current components scale by the code's redundancy fraction while the
+// leakage-dominated background currents stay put. The I/O energy is
+// untouched — check bits never cross the pins. The receiver is unchanged
+// (Chip is a value); the default chips carry no on-die code, keeping every
+// pre-existing configuration's energy byte-identical.
+func (c Chip) WithOnDieECC(overhead float64) Chip {
+	if overhead < 0 {
+		panic(fmt.Sprintf("dram: on-die ECC overhead must be non-negative (got %g)", overhead))
+	}
+	cur := &c.Currents
+	cur.IDD0 *= 1 + overhead
+	cur.IDD4R = cur.IDD3N + (cur.IDD4R-cur.IDD3N)*(1+overhead)
+	cur.IDD4W = cur.IDD3N + (cur.IDD4W-cur.IDD3N)*(1+overhead)
+	cur.IDD5 = cur.IDD2N + (cur.IDD5-cur.IDD2N)*(1+overhead)
+	return c
+}

@@ -1,0 +1,120 @@
+package dram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestOnDieSECGeometry(t *testing.T) {
+	for _, tc := range []struct{ dataBytes, wantChecks int }{
+		{1, 4}, {4, 6}, {8, 7}, {16, 8},
+	} {
+		c := NewOnDieSEC(tc.dataBytes)
+		if c.CheckBits() != tc.wantChecks {
+			t.Errorf("%dB fetch: got %d check bits, want %d", tc.dataBytes, c.CheckBits(), tc.wantChecks)
+		}
+	}
+}
+
+// TestOnDieSECSingleBit: every single-bit flip — data or check — is
+// corrected back to the encoded word, invisibly.
+func TestOnDieSECSingleBit(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, dataBytes := range []int{4, 8, 16} {
+		c := NewOnDieSEC(dataBytes)
+		data := make([]byte, dataBytes)
+		r.Read(data)
+		checks := c.Encode(data)
+		for bit := 0; bit < c.DataBits(); bit++ {
+			d := append([]byte(nil), data...)
+			ch := append([]byte(nil), checks...)
+			flipBit(d, bit)
+			res := c.Scrub(d, ch)
+			if res.Outcome != ScrubCorrected || res.Bit != bit {
+				t.Fatalf("%dB data bit %d: %+v", dataBytes, bit, res)
+			}
+			if !bytes.Equal(d, data) {
+				t.Fatalf("%dB data bit %d: scrub did not restore data", dataBytes, bit)
+			}
+		}
+		for bit := 0; bit < c.CheckBits(); bit++ {
+			d := append([]byte(nil), data...)
+			ch := append([]byte(nil), checks...)
+			flipBit(ch, bit)
+			res := c.Scrub(d, ch)
+			if res.Outcome != ScrubCorrected || res.Bit != -1 {
+				t.Fatalf("%dB check bit %d: %+v", dataBytes, bit, res)
+			}
+			if !bytes.Equal(d, data) || !bytes.Equal(ch, checks) {
+				t.Fatalf("%dB check bit %d: scrub did not restore codeword", dataBytes, bit)
+			}
+		}
+	}
+}
+
+// TestOnDieSECDoubleBit: a SEC code never corrects a double-bit error
+// back to the truth — it either flags it or miscorrects a third bit. The
+// post-scrub word must never silently equal a word that differs from the
+// truth by exactly the applied correction (that would mean the model hid
+// the distortion the HARP experiment measures).
+func TestOnDieSECDoubleBit(t *testing.T) {
+	c := NewOnDieSEC(8)
+	r := rand.New(rand.NewSource(22))
+	data := make([]byte, 8)
+	r.Read(data)
+	checks := c.Encode(data)
+	miscorrected, detected := 0, 0
+	for trial := 0; trial < 200; trial++ {
+		a := r.Intn(c.DataBits())
+		b := r.Intn(c.DataBits())
+		if a == b {
+			continue
+		}
+		d := append([]byte(nil), data...)
+		ch := append([]byte(nil), checks...)
+		flipBit(d, a)
+		flipBit(d, b)
+		res := c.Scrub(d, ch)
+		switch res.Outcome {
+		case ScrubClean:
+			t.Fatalf("double flip (%d,%d) scrubbed clean", a, b)
+		case ScrubCorrected:
+			if bytes.Equal(d, data) {
+				t.Fatalf("double flip (%d,%d) corrected to truth — impossible at distance 3", a, b)
+			}
+			miscorrected++
+		case ScrubDetected:
+			detected++
+		}
+	}
+	if miscorrected == 0 || detected == 0 {
+		t.Fatalf("double-bit campaign should see both miscorrections (%d) and detections (%d)", miscorrected, detected)
+	}
+}
+
+// TestWithOnDieECC: the energy hook raises exactly the dynamic energies,
+// leaves background power alone, and a zero overhead is the identity.
+func TestWithOnDieECC(t *testing.T) {
+	base := Chip2GbDDR3(X8)
+	tm := TimingForWidth(X8)
+	same := base.WithOnDieECC(0)
+	if same != base {
+		t.Fatal("zero overhead must be the identity")
+	}
+	ecc := base.WithOnDieECC(NewOnDieSEC(8).Overhead())
+	if !(ecc.ActivateEnergy(tm) > base.ActivateEnergy(tm)) {
+		t.Error("activate energy should rise with on-die ECC")
+	}
+	if !(ecc.ReadBurstEnergy(tm) > base.ReadBurstEnergy(tm)) {
+		t.Error("read burst energy should rise with on-die ECC")
+	}
+	if !(ecc.WriteBurstEnergy(tm) > base.WriteBurstEnergy(tm)) {
+		t.Error("write burst energy should rise with on-die ECC")
+	}
+	for _, st := range []PowerState{StateActiveStandby, StatePrechargeStandby, StatePowerDown} {
+		if ecc.BackgroundPower(st) != base.BackgroundPower(st) {
+			t.Errorf("background power in state %v must not change", st)
+		}
+	}
+}

@@ -51,7 +51,11 @@ func TestSingleChipKill(t *testing.T) {
 	patterns := []byte{0x00, 0xFF, 0xA5}
 	for _, name := range Names() {
 		s := ByName(name)
+		info, _ := Info(name)
 		t.Run(name, func(t *testing.T) {
+			if !info.ChipKillCorrect {
+				t.Skipf("%s has no rank-level code: a chip kill is beyond it by design", name)
+			}
 			d := randLine(r, s)
 			cwClean, corr := s.Encode(d)
 			nData := dataShardCount(s, cwClean)
@@ -91,6 +95,11 @@ func TestSingleChipKill(t *testing.T) {
 
 // dataShardCount returns how many leading shards carry data for a scheme.
 func dataShardCount(s Scheme, cw *Codeword) int {
+	switch v := s.(type) {
+	case *OnDie:
+		// Composite shards map 1:1 onto the base scheme's.
+		return dataShardCount(v.Base(), cw)
+	}
 	switch s.(type) {
 	case *Chipkill36:
 		return 32
@@ -119,6 +128,11 @@ func TestSingleBitFlip(t *testing.T) {
 	for _, name := range Names() {
 		s := ByName(name)
 		t.Run(name, func(t *testing.T) {
+			var onDie bool
+			switch s.(type) {
+			case *OnDie, *OnDieOnly:
+				onDie = true
+			}
 			for trial := 0; trial < 30; trial++ {
 				d := randLine(r, s)
 				cw, corr := s.Encode(d)
@@ -126,7 +140,15 @@ func TestSingleBitFlip(t *testing.T) {
 				chip := r.Intn(nData)
 				byteIdx := r.Intn(len(cw.Shards[chip]))
 				cw.Shards[chip][byteIdx] ^= 1 << uint(r.Intn(8))
-				if res := s.Detect(cw); !res.ErrorDetected {
+				res := s.Detect(cw)
+				if onDie {
+					// The chip's corrector repairs a single-bit error
+					// before the rank-level code ever sees it — the flip
+					// must be INVISIBLE, not detected.
+					if res.ErrorDetected {
+						t.Fatalf("trial %d: on-die corrector leaked a single-bit flip in chip %d", trial, chip)
+					}
+				} else if !res.ErrorDetected {
 					t.Fatalf("trial %d: bit flip in chip %d not detected", trial, chip)
 				}
 				got, _, err := s.Correct(cw, corr)

@@ -1,0 +1,342 @@
+package ecc
+
+// Cross-layer (Cerberus-style) schemes: a per-chip on-die SEC code
+// (internal/dram.OnDieSEC) underneath a rank-level scheme. The rank-level
+// code never sees the raw array error profile — every shard it reads has
+// already been through the chip's corrector, so single-bit faults vanish
+// and multi-bit faults may arrive distorted (a miscorrection flips a
+// third bit). OnDie models exactly that read path; OnDieOnly is the bare
+// chip-corrector rank with no inter-chip code at all, the weakest point
+// of comparison and the HARP profiler's subject.
+
+import "eccparity/internal/dram"
+
+// OnDie composes a base rank-level scheme with per-chip on-die SEC: each
+// codeword shard carries the base shard's bytes followed by that shard's
+// Hamming check bytes, and every read-side operation (Detect, Correct)
+// first runs the chip corrector on a copy of each shard — the base scheme
+// observes post-correction shards only. Correction bits are the base
+// scheme's unchanged (the on-die checks are per-chip and never leave the
+// device), so the composite keeps the base's GF(2)-linearity and R ratio.
+type OnDie struct {
+	base        Scheme
+	passthrough bool
+	shardLens   []int            // base shard sizes, probed at construction
+	codecs      []*dram.OnDieSEC // one per shard, keyed by shard index
+}
+
+// NewOnDie wraps base with per-chip on-die SEC. passthrough disables the
+// in-chip corrector (checks are stored but never consumed) — the raw-read
+// configuration HARP-style profiling compares against.
+func NewOnDie(base Scheme, passthrough bool) *OnDie {
+	probe, _ := base.Encode(make([]byte, base.Geometry().LineSize))
+	s := &OnDie{
+		base:        base,
+		passthrough: passthrough,
+		shardLens:   make([]int, len(probe.Shards)),
+		codecs:      make([]*dram.OnDieSEC, len(probe.Shards)),
+	}
+	byLen := map[int]*dram.OnDieSEC{}
+	for i, shard := range probe.Shards {
+		n := len(shard)
+		if byLen[n] == nil {
+			byLen[n] = dram.NewOnDieSEC(n)
+		}
+		s.shardLens[i] = n
+		s.codecs[i] = byLen[n]
+	}
+	return s
+}
+
+// Base returns the wrapped rank-level scheme.
+func (s *OnDie) Base() Scheme { return s.base }
+
+// Passthrough reports whether the in-chip corrector is disabled.
+func (s *OnDie) Passthrough() bool { return s.passthrough }
+
+// OnDieOverhead returns the in-array redundancy fraction of the widest
+// per-chip code (check bits per data bit) — the energy model's knob.
+func (s *OnDie) OnDieOverhead() float64 {
+	o := 0.0
+	for _, c := range s.codecs {
+		if v := c.Overhead(); v > o {
+			o = v
+		}
+	}
+	return o
+}
+
+// Name implements Scheme.
+func (s *OnDie) Name() string { return "on-die SEC + " + s.base.Name() }
+
+// Geometry implements Scheme: the external rank shape is the base's — the
+// on-die check bits live inside the arrays and never cross the pins.
+func (s *OnDie) Geometry() Geometry { return s.base.Geometry() }
+
+// Overheads implements Scheme. The on-die check bits are always-read
+// in-array redundancy, so they are accounted detection-class on top of
+// the base split, like every other overhead consumed on the critical
+// read path.
+func (s *OnDie) Overheads() Overheads {
+	o := s.base.Overheads()
+	o.Detection += s.OnDieOverhead()
+	return o
+}
+
+// CorrectionSize implements Scheme: the base's (on-die checks are not
+// rank-level correction bits).
+func (s *OnDie) CorrectionSize() int { return s.base.CorrectionSize() }
+
+// CorrectionBits implements Scheme, delegating to the base — still
+// GF(2)-linear in the data line.
+func (s *OnDie) CorrectionBits(data []byte) []byte { return s.base.CorrectionBits(data) }
+
+// Encode implements Scheme: base shards, each extended with its chip's
+// on-die check bytes.
+func (s *OnDie) Encode(data []byte) (*Codeword, []byte) {
+	inner, corr := s.base.Encode(data)
+	cw := &Codeword{Shards: make([][]byte, len(inner.Shards))}
+	for i, shard := range inner.Shards {
+		cw.Shards[i] = append(append([]byte(nil), shard...), s.codecs[i].Encode(shard)...)
+	}
+	return cw, corr
+}
+
+// splitShard views one composite shard as its base bytes and check bytes.
+func (s *OnDie) splitShard(i int, shard []byte) (data, checks []byte) {
+	return shard[:s.shardLens[i]], shard[s.shardLens[i]:]
+}
+
+// checkShape validates the composite codeword's shard shapes.
+func (s *OnDie) checkShape(cw *Codeword) bool {
+	if len(cw.Shards) != len(s.shardLens) {
+		return false
+	}
+	for i, shard := range cw.Shards {
+		if len(shard) != s.shardLens[i]+s.codecs[i].CheckBytes() {
+			return false
+		}
+	}
+	return true
+}
+
+// Scrub runs every chip's on-die corrector over the codeword IN PLACE and
+// returns the per-chip outcomes — the fault-injection experiments' window
+// into what the chips silently repaired, miscorrected, or flagged. With
+// passthrough set, nothing is touched and every outcome is ScrubClean.
+func (s *OnDie) Scrub(cw *Codeword) []dram.ScrubResult {
+	if !s.checkShape(cw) {
+		panic(ErrBadShards)
+	}
+	out := make([]dram.ScrubResult, len(cw.Shards))
+	for i := range out {
+		out[i] = dram.ScrubResult{Outcome: dram.ScrubClean, Bit: -1}
+	}
+	if s.passthrough {
+		return out
+	}
+	for i, shard := range cw.Shards {
+		data, checks := s.splitShard(i, shard)
+		out[i] = s.codecs[i].Scrub(data, checks)
+	}
+	return out
+}
+
+// postCorrection builds the base-scheme view of the codeword: every shard
+// copied and run through its chip's corrector (unless passthrough).
+func (s *OnDie) postCorrection(cw *Codeword) *Codeword {
+	inner := &Codeword{Shards: make([][]byte, len(cw.Shards))}
+	for i, shard := range cw.Shards {
+		data := append([]byte(nil), shard[:s.shardLens[i]]...)
+		if !s.passthrough {
+			checks := append([]byte(nil), shard[s.shardLens[i]:]...)
+			s.codecs[i].Scrub(data, checks)
+		}
+		inner.Shards[i] = data
+	}
+	return inner
+}
+
+// Detect implements Scheme over the post-correction shards: errors the
+// chips repaired (or miscorrected into codewords) are invisible here —
+// exactly the masking the rank-level code experiences on real devices.
+func (s *OnDie) Detect(cw *Codeword) DetectResult {
+	if !s.checkShape(cw) {
+		panic(ErrBadShards)
+	}
+	return s.base.Detect(s.postCorrection(cw))
+}
+
+// Correct implements Scheme: the base decodes the post-correction shards
+// with its own correction bits.
+func (s *OnDie) Correct(cw *Codeword, corr []byte) ([]byte, *CorrectReport, error) {
+	if !s.checkShape(cw) {
+		return nil, nil, ErrBadShards
+	}
+	return s.base.Correct(s.postCorrection(cw), corr)
+}
+
+// Data implements Scheme: the base data bytes, no checking, no scrubbing.
+func (s *OnDie) Data(cw *Codeword) []byte {
+	if !s.checkShape(cw) {
+		panic(ErrBadShards)
+	}
+	inner := &Codeword{Shards: make([][]byte, len(cw.Shards))}
+	for i, shard := range cw.Shards {
+		inner.Shards[i] = shard[:s.shardLens[i]]
+	}
+	return s.base.Data(inner)
+}
+
+// OnDieOnly is the bare on-die configuration: a conventional non-ECC rank
+// of eight x8 chips whose only protection is each chip's internal SEC
+// code. There is no inter-chip code — a whole-chip failure is beyond it —
+// which makes it the floor of the cross-layer comparison and the subject
+// the HARP profiler experiment studies.
+type OnDieOnly struct {
+	passthrough bool
+	codec       *dram.OnDieSEC
+}
+
+// NewOnDieOnly constructs the scheme; passthrough disables the corrector.
+func NewOnDieOnly(passthrough bool) *OnDieOnly {
+	return &OnDieOnly{passthrough: passthrough, codec: dram.NewOnDieSEC(odoShard)}
+}
+
+const (
+	odoChips = 8  // x8 devices, no rank-level redundancy
+	odoShard = 8  // data bytes per chip per 64B line
+	odoLine  = 64 // bytes
+)
+
+// Name implements Scheme.
+func (s *OnDieOnly) Name() string { return "on-die SEC only (non-ECC rank)" }
+
+// Passthrough reports whether the in-chip corrector is disabled.
+func (s *OnDieOnly) Passthrough() bool { return s.passthrough }
+
+// OnDieOverhead returns the in-array redundancy fraction (energy knob).
+func (s *OnDieOnly) OnDieOverhead() float64 { return s.codec.Overhead() }
+
+// Geometry implements Scheme: a plain 64-bit non-ECC channel.
+func (s *OnDieOnly) Geometry() Geometry {
+	return Geometry{
+		RankConfig:      "8 x8",
+		Chips:           []ChipClass{{Width: 8, Count: odoChips}},
+		LineSize:        odoLine,
+		RanksPerChannel: 1,
+		ChannelsDualEq:  4,
+		ChannelsQuadEq:  8,
+		PinsDualEq:      256,
+		PinsQuadEq:      512,
+	}
+}
+
+// Overheads implements Scheme: only the in-array check bits, which never
+// occupy externally-visible capacity — both rank-level fractions are zero.
+func (s *OnDieOnly) Overheads() Overheads { return Overheads{} }
+
+// CorrectionSize implements Scheme: no rank-level correction bits.
+func (s *OnDieOnly) CorrectionSize() int { return 0 }
+
+// CorrectionBits implements Scheme (none).
+func (s *OnDieOnly) CorrectionBits(data []byte) []byte {
+	checkLine(s, data)
+	return nil
+}
+
+// Encode implements Scheme: one shard per chip, data plus its on-die
+// check byte.
+func (s *OnDieOnly) Encode(data []byte) (*Codeword, []byte) {
+	checkLine(s, data)
+	cw := &Codeword{Shards: make([][]byte, odoChips)}
+	for i := 0; i < odoChips; i++ {
+		chunk := data[i*odoShard : (i+1)*odoShard]
+		cw.Shards[i] = append(append([]byte(nil), chunk...), s.codec.Encode(chunk)...)
+	}
+	return cw, nil
+}
+
+// Data implements Scheme.
+func (s *OnDieOnly) Data(cw *Codeword) []byte {
+	if len(cw.Shards) != odoChips {
+		panic(ErrBadShards)
+	}
+	out := make([]byte, 0, odoLine)
+	for _, shard := range cw.Shards {
+		out = append(out, shard[:odoShard]...)
+	}
+	return out
+}
+
+// scrub runs every chip's corrector over shard copies, returning the
+// corrected data view and per-chip outcomes.
+func (s *OnDieOnly) scrub(cw *Codeword) (*Codeword, []dram.ScrubResult) {
+	out := &Codeword{Shards: make([][]byte, odoChips)}
+	res := make([]dram.ScrubResult, odoChips)
+	for i, shard := range cw.Shards {
+		data := append([]byte(nil), shard[:odoShard]...)
+		res[i] = dram.ScrubResult{Outcome: dram.ScrubClean, Bit: -1}
+		if !s.passthrough {
+			checks := append([]byte(nil), shard[odoShard:]...)
+			res[i] = s.codec.Scrub(data, checks)
+		}
+		out.Shards[i] = data
+	}
+	return out, res
+}
+
+// Scrub runs every chip's on-die corrector over the codeword IN PLACE and
+// returns the per-chip outcomes (ScrubClean everywhere under passthrough).
+func (s *OnDieOnly) Scrub(cw *Codeword) []dram.ScrubResult {
+	if len(cw.Shards) != odoChips {
+		panic(ErrBadShards)
+	}
+	res := make([]dram.ScrubResult, odoChips)
+	for i, shard := range cw.Shards {
+		res[i] = dram.ScrubResult{Outcome: dram.ScrubClean, Bit: -1}
+		if !s.passthrough {
+			res[i] = s.codec.Scrub(shard[:odoShard], shard[odoShard:])
+		}
+	}
+	return res
+}
+
+// Detect implements Scheme: only errors the chip correctors themselves
+// flag are visible; silently corrected (or miscorrected) patterns pass.
+func (s *OnDieOnly) Detect(cw *Codeword) DetectResult {
+	if len(cw.Shards) != odoChips {
+		panic(ErrBadShards)
+	}
+	_, res := s.scrub(cw)
+	var out DetectResult
+	for i, r := range res {
+		if r.Outcome == dram.ScrubDetected {
+			out.ErrorDetected = true
+			out.SuspectChips = append(out.SuspectChips, i)
+		}
+	}
+	return out
+}
+
+// Correct implements Scheme: the chip correctors are the only correction
+// there is; a pattern any chip flags as beyond SEC is uncorrectable.
+func (s *OnDieOnly) Correct(cw *Codeword, corr []byte) ([]byte, *CorrectReport, error) {
+	if len(cw.Shards) != odoChips {
+		return nil, nil, ErrBadShards
+	}
+	scrubbed, res := s.scrub(cw)
+	report := &CorrectReport{}
+	for i, r := range res {
+		switch r.Outcome {
+		case dram.ScrubDetected:
+			return nil, nil, ErrUncorrectable
+		case dram.ScrubCorrected:
+			report.CorrectedChips = append(report.CorrectedChips, i)
+		}
+	}
+	return s.Data(scrubbed), report, nil
+}
+
+var _ Scheme = (*OnDie)(nil)
+var _ Scheme = (*OnDieOnly)(nil)

@@ -1,32 +1,226 @@
 package ecc
 
-import "sort"
+// The scheme registry: every base and cross-layer scheme this repository
+// evaluates, keyed by its serving name, as parameterized constructors
+// rather than a flat map of instances. The registry is built exactly once
+// (sync.Once) and the default instance of every scheme is shared — Scheme
+// implementations are immutable after construction and safe for concurrent
+// use — so ByName/Names on a hot path cost a map read and a slice copy,
+// not a fresh allocation of every codec's tables.
 
-// All returns one instance of every base scheme, keyed by the paper's name.
-func All() map[string]Scheme {
-	return map[string]Scheme{
-		"chipkill36":     NewChipkill36(),
-		"chipkill18":     NewChipkill18(),
-		"doublechipkill": NewDoubleChipkill(),
-		"lotecc5":        NewLOTECC5(),
-		"lotecc5rs":      NewLOTECC5RS(),
-		"lotecc9":        NewLOTECC9(),
-		"multiecc":       NewMultiECC(),
-		"raim":           NewRAIM(),
-		"raim18":         NewRAIMParity(),
-	}
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// OptionSpec documents one constructor option of a registry entry, in the
+// shape GET /v1/schemes serves: a JSON field name, its JSON type, and what
+// it does.
+type OptionSpec struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Description string `json:"description"`
 }
 
-// Names returns the registry keys in deterministic order.
-func Names() []string {
-	m := All()
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
+// Options is the decoded form of a scheme's constructor options. One
+// struct covers every entry — entries that accept no options reject any
+// non-empty payload in CanonicalOptions/Build.
+type Options struct {
+	// Passthrough disables the on-die corrector of the on-die entries:
+	// check bits are stored but never consumed, so the rank-level code
+	// sees the raw array error profile (the HARP comparison point).
+	Passthrough bool `json:"passthrough,omitempty"`
+}
+
+// Entry describes one registered scheme.
+type Entry struct {
+	// Key is the serving name (api scheme field, sweep axis value).
+	Key string
+	// Description is the one-line summary GET /v1/schemes serves.
+	Description string
+	// ChipKillCorrect reports whether the scheme corrects any single-chip
+	// failure — the capability the generic chip-kill tests gate on (the
+	// bare on-die rank cannot).
+	ChipKillCorrect bool
+	// Options lists the constructor options the entry accepts (empty for
+	// fixed schemes).
+	Options []OptionSpec
+
+	build func(o Options) Scheme
+}
+
+// passthroughOpt is the option schema shared by the on-die entries.
+var passthroughOpt = []OptionSpec{{
+	Name: "passthrough", Type: "boolean",
+	Description: "disable the on-die corrector so the rank-level code sees raw array errors",
+}}
+
+var (
+	regOnce    sync.Once
+	regEntries map[string]*Entry
+	regNames   []string          // sorted keys, shared — Names() copies
+	regShared  map[string]Scheme // default (zero-Options) instances
+)
+
+func buildRegistry() {
+	entries := []*Entry{
+		{Key: "chipkill36", Description: "36-device commercial chipkill correct (32+4 x4, 128B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewChipkill36() }},
+		{Key: "chipkill18", Description: "18-device commercial chipkill correct (16+2 x4, 64B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewChipkill18() }},
+		{Key: "doublechipkill", Description: "40-device double-chipkill correct (32+8 x4, 128B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewDoubleChipkill() }},
+		{Key: "lotecc5", Description: "LOT-ECC with 5 chips per rank (4 x16 + 1 x8, 64B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewLOTECC5() }},
+		{Key: "lotecc5rs", Description: "LOT-ECC5 variant with RS second-tier symbols",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewLOTECC5RS() }},
+		{Key: "lotecc9", Description: "LOT-ECC with 9 chips per rank (9 x8, 64B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewLOTECC9() }},
+		{Key: "multiecc", Description: "Multi-ECC (9 x8, 64B lines, compacted multi-line T2EC)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewMultiECC() }},
+		{Key: "raim", Description: "IBM-style RAIM: DIMM-kill correct (45 x4 = 5 DIMMs, 128B lines)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewRAIM() }},
+		{Key: "raim18", Description: "18-device RAIM rank with P/Q group parity (ECC Parity base)",
+			ChipKillCorrect: true, build: func(Options) Scheme { return NewRAIMParity() }},
+		{Key: "ondie-sec", Description: "bare on-die SEC: non-ECC 8 x8 rank, per-chip Hamming correction only",
+			Options: passthroughOpt,
+			build:   func(o Options) Scheme { return NewOnDieOnly(o.Passthrough) }},
+		{Key: "ondie+chipkill", Description: "cross-layer: per-chip on-die SEC under 36-device chipkill correct",
+			ChipKillCorrect: true, Options: passthroughOpt,
+			build: func(o Options) Scheme { return NewOnDie(NewChipkill36(), o.Passthrough) }},
+		{Key: "ondie+raim18", Description: "cross-layer: per-chip on-die SEC under the 18-device RAIM rank",
+			ChipKillCorrect: true, Options: passthroughOpt,
+			build: func(o Options) Scheme { return NewOnDie(NewRAIMParity(), o.Passthrough) }},
 	}
-	sort.Strings(out)
+	regEntries = make(map[string]*Entry, len(entries))
+	regShared = make(map[string]Scheme, len(entries))
+	regNames = make([]string, 0, len(entries))
+	for _, e := range entries {
+		regEntries[e.Key] = e
+		regShared[e.Key] = e.build(Options{})
+		regNames = append(regNames, e.Key)
+	}
+	sort.Strings(regNames)
+}
+
+func reg() map[string]*Entry {
+	regOnce.Do(buildRegistry)
+	return regEntries
+}
+
+// All returns one shared instance of every registered scheme, keyed by
+// name. The map is the caller's to modify; the Scheme instances inside are
+// shared, immutable after construction, and safe for concurrent use.
+func All() map[string]Scheme {
+	reg()
+	out := make(map[string]Scheme, len(regShared))
+	for k, v := range regShared {
+		out[k] = v
+	}
 	return out
 }
 
-// ByName returns the scheme registered under name, or nil.
-func ByName(name string) Scheme { return All()[name] }
+// Names returns the registry keys in deterministic (sorted) order. The
+// slice is a copy; the underlying registry is built once per process.
+func Names() []string {
+	reg()
+	return append([]string(nil), regNames...)
+}
+
+// ByName returns the shared default instance of the scheme registered
+// under name, or nil.
+func ByName(name string) Scheme {
+	reg()
+	return regShared[name]
+}
+
+// Known reports whether name is a registered scheme key.
+func Known(name string) bool {
+	_, ok := reg()[name]
+	return ok
+}
+
+// Info returns the registry entry for a key.
+func Info(name string) (Entry, bool) {
+	e, ok := reg()[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns every registry entry in key order, for GET /v1/schemes.
+func Entries() []Entry {
+	reg()
+	out := make([]Entry, 0, len(regNames))
+	for _, k := range regNames {
+		out = append(out, *regEntries[k])
+	}
+	return out
+}
+
+// decodeOptions parses an options payload strictly: unknown fields are
+// rejected, as is any option the entry does not declare.
+func decodeOptions(e *Entry, raw []byte) (Options, error) {
+	var o Options
+	if len(raw) == 0 {
+		return o, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&o); err != nil {
+		return Options{}, fmt.Errorf("ecc: scheme %q options: %w", e.Key, err)
+	}
+	if dec.More() {
+		return Options{}, fmt.Errorf("ecc: scheme %q options: trailing data after JSON object", e.Key)
+	}
+	if o.Passthrough && len(e.Options) == 0 {
+		return Options{}, fmt.Errorf("ecc: scheme %q accepts no options", e.Key)
+	}
+	return o, nil
+}
+
+// CanonicalOptions validates an options payload against a scheme's entry
+// and returns its canonical encoding: "" for defaults (nil, "{}", or all
+// zero values), a minimal deterministic JSON object otherwise. Two
+// payloads meaning the same configuration always canonicalize to the same
+// string — the property the result cache's content addressing hashes.
+func CanonicalOptions(name string, raw []byte) (string, error) {
+	e, ok := reg()[name]
+	if !ok {
+		return "", fmt.Errorf("ecc: unknown scheme %q", name)
+	}
+	o, err := decodeOptions(e, raw)
+	if err != nil {
+		return "", err
+	}
+	if o == (Options{}) {
+		return "", nil
+	}
+	b, err := json.Marshal(o)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Build constructs a scheme from its key and a canonical-or-raw options
+// payload. The default configuration ("" options) returns the shared
+// instance; parameterized variants are constructed fresh (callers cache).
+func Build(name, options string) (Scheme, error) {
+	e, ok := reg()[name]
+	if !ok {
+		return nil, fmt.Errorf("ecc: unknown scheme %q", name)
+	}
+	o, err := decodeOptions(e, []byte(options))
+	if err != nil {
+		return nil, err
+	}
+	if o == (Options{}) {
+		return regShared[name], nil
+	}
+	return e.build(o), nil
+}

@@ -226,7 +226,7 @@ func TestRAIMParityLocateWithoutChecksum(t *testing.T) {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"chipkill18", "chipkill36", "doublechipkill", "lotecc5", "lotecc5rs", "lotecc9", "multiecc", "raim", "raim18"}
+	want := []string{"chipkill18", "chipkill36", "doublechipkill", "lotecc5", "lotecc5rs", "lotecc9", "multiecc", "ondie+chipkill", "ondie+raim18", "ondie-sec", "raim", "raim18"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registry has %d schemes, want %d", len(got), len(want))

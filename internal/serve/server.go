@@ -9,6 +9,7 @@
 //
 //	POST   /v1/experiments      submit a config; 202 + job id (200 on cache hit)
 //	GET    /v1/experiments      list known experiment ids
+//	GET    /v1/schemes          list the resilience scheme registry
 //	GET    /v1/jobs/{id}        poll a job's status
 //	DELETE /v1/jobs/{id}        cancel a job (interrupts a running engine)
 //	GET    /v1/results/{hash}   fetch a result document by content address
@@ -39,6 +40,7 @@ import (
 
 	"eccparity/internal/blob"
 	"eccparity/internal/cluster"
+	"eccparity/internal/ecc"
 	"eccparity/internal/jobqueue"
 	"eccparity/internal/resultcache"
 	"eccparity/internal/sim/report"
@@ -180,6 +182,7 @@ func New(o Options) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments", s.handleList)
+	mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/results/{hash}", s.handleResult)
@@ -243,10 +246,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	p := report.Params{
+	// NormalizedFor folds the scheme fields into the canonical identity:
+	// requests without a scheme normalize exactly as they always have (same
+	// content-address), and equivalent scheme spellings — omitted vs explicit
+	// default, options formatting — collapse to one cache entry.
+	p, err := report.Params{
 		Cycles: req.Cycles, Warmup: req.Warmup, Trials: req.Trials,
 		Seed: req.Seed, CSV: req.CSV,
-	}.Normalized()
+		Scheme: req.Scheme, SchemeOptions: string(req.SchemeOptions),
+	}.NormalizedFor(req.Experiment)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeUnknownScheme, "%v (GET /v1/schemes lists valid schemes)", err)
+		return
+	}
 	cc := canonicalConfig{Experiment: req.Experiment, Params: p}
 	key, err := resultcache.Key(cc)
 	if err != nil {
@@ -406,8 +418,11 @@ func (s *Server) compute(ctx context.Context, key, experiment string, p report.P
 	doc := api.Result{
 		Hash:       key,
 		Experiment: experiment,
-		Params:     api.Params{Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials, Seed: p.Seed, CSV: p.CSV},
-		Report:     api.Report{Experiment: rep.Experiment, Title: rep.Title, Text: rep.Text, Data: data},
+		Params: api.Params{
+			Cycles: p.Cycles, Warmup: p.Warmup, Trials: p.Trials, Seed: p.Seed, CSV: p.CSV,
+			Scheme: p.Scheme, SchemeOptions: p.SchemeOptions,
+		},
+		Report: api.Report{Experiment: rep.Experiment, Title: rep.Title, Text: rep.Text, Data: data},
 	}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -419,7 +434,26 @@ func (s *Server) compute(ctx context.Context, key, experiment string, p report.P
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	out := api.ExperimentList{Experiments: []api.ExperimentInfo{}}
 	for _, id := range report.IDs() {
-		out.Experiments = append(out.Experiments, api.ExperimentInfo{ID: id, Title: report.Title(id)})
+		out.Experiments = append(out.Experiments, api.ExperimentInfo{
+			ID: id, Title: report.Title(id),
+			SchemeAware:   report.SchemeAware(id),
+			DefaultScheme: report.DefaultScheme(id),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSchemes serves the resilience scheme registry: every key a
+// scheme-aware submission or sweep axis accepts, with the constructor
+// options each scheme takes.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	out := api.SchemeList{Schemes: []api.SchemeInfo{}}
+	for _, e := range ecc.Entries() {
+		info := api.SchemeInfo{Key: e.Key, Description: e.Description, ChipKillCorrect: e.ChipKillCorrect}
+		for _, o := range e.Options {
+			info.Options = append(info.Options, api.SchemeOption{Name: o.Name, Type: o.Type, Description: o.Description})
+		}
+		out.Schemes = append(out.Schemes, info)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -98,9 +98,13 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	points, err := report.ExpandSweep(b.Experiment,
-		report.Params{Cycles: b.Cycles, Warmup: b.Warmup, Trials: b.Trials, Seed: b.Seed, CSV: b.CSV},
+		report.Params{
+			Cycles: b.Cycles, Warmup: b.Warmup, Trials: b.Trials, Seed: b.Seed, CSV: b.CSV,
+			Scheme: b.Scheme, SchemeOptions: string(b.SchemeOptions),
+		},
 		report.SweepAxes{
 			Experiments: req.Axes.Experiment,
+			Schemes:     req.Axes.Scheme,
 			Cycles:      req.Axes.Cycles,
 			Warmup:      req.Axes.Warmup,
 			Trials:      req.Axes.Trials,
@@ -113,6 +117,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 			switch ce.Field {
 			case "experiment":
 				code = api.CodeUnknownExperiment
+			case "scheme", "scheme_options":
+				code = api.CodeUnknownScheme
 			case "axes":
 				code = api.CodeBudgetTooLarge
 			}
@@ -186,6 +192,8 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 				Experiment: pt.Experiment,
 				Cycles:     pt.Params.Cycles, Warmup: pt.Params.Warmup,
 				Trials: pt.Params.Trials, Seed: pt.Params.Seed, CSV: pt.Params.CSV,
+				Scheme:         pt.Params.Scheme,
+				SchemeOptions:  json.RawMessage(pt.Params.SchemeOptions),
 				TimeoutSeconds: b.TimeoutSeconds,
 				Priority:       pointPriority,
 				Submitter:      b.Submitter,
@@ -260,6 +268,7 @@ func (s *Server) sweepStatus(sw *sweepRec) api.SweepStatus {
 			Params: api.Params{
 				Cycles: rec.params.Cycles, Warmup: rec.params.Warmup,
 				Trials: rec.params.Trials, Seed: rec.params.Seed, CSV: rec.params.CSV,
+				Scheme: rec.params.Scheme, SchemeOptions: rec.params.SchemeOptions,
 			},
 		}
 		if rec.node != "" {

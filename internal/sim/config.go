@@ -7,6 +7,8 @@ package sim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"sync"
 
 	"eccparity/internal/dram"
@@ -62,6 +64,10 @@ type SchemeConfig struct {
 	// TrafficECCLine schemes (4 for LOT-ECC5, 8 for LOT-ECC9, 16 for
 	// Multi-ECC's compacted T2EC).
 	LinesPerECCLine int
+	// OnDieOverhead is the in-array check-bit fraction of schemes with a
+	// per-chip on-die code; buildMemConfig scales the chips' dynamic
+	// energies by it (dram.Chip.WithOnDieECC). Zero for rank-only schemes.
+	OnDieOverhead float64
 }
 
 // Channels returns the logical channel count for a system class.
@@ -122,6 +128,9 @@ func Schemes() map[string]SchemeConfig {
 }
 
 func buildSchemes() map[string]SchemeConfig {
+	onDieSec := ecc.NewOnDieOnly(false)
+	onDieCk := ecc.NewOnDie(ecc.NewChipkill36(), false)
+	onDieRaim := ecc.NewOnDie(ecc.NewRAIMParity(), false)
 	return map[string]SchemeConfig{
 		"chipkill36": {
 			Key: "chipkill36", Display: "36-device commercial chipkill",
@@ -155,17 +164,131 @@ func buildSchemes() map[string]SchemeConfig {
 			Key: "raim+parity", Display: "RAIM + ECC Parity",
 			Base: ecc.NewRAIMParity(), Traffic: TrafficParity,
 		},
+		"doublechipkill": {
+			Key: "doublechipkill", Display: "Double chipkill",
+			Base: ecc.NewDoubleChipkill(), Traffic: TrafficInline,
+		},
+		"lotecc5rs": {
+			Key: "lotecc5rs", Display: "LOT-ECC5/RS",
+			Base: ecc.NewLOTECC5RS(), Traffic: TrafficECCLine, LinesPerECCLine: 4,
+		},
+		"raim18": {
+			// Standalone 18-device RAIM rank: the P/Q group parity lives in
+			// dedicated ECC lines (32B per 64B data line -> one ECC line
+			// covers two data lines) rather than the ECC Parity overlay.
+			Key: "raim18", Display: "18-device RAIM",
+			Base: ecc.NewRAIMParity(), Traffic: TrafficECCLine, LinesPerECCLine: 2,
+		},
+		"ondie-sec": {
+			Key: "ondie-sec", Display: "On-die SEC (non-ECC rank)",
+			Base: onDieSec, Traffic: TrafficInline,
+			OnDieOverhead: onDieSec.OnDieOverhead(),
+		},
+		"ondie+chipkill": {
+			Key: "ondie+chipkill", Display: "On-die SEC + chipkill",
+			Base: onDieCk, Traffic: TrafficInline,
+			OnDieOverhead: onDieCk.OnDieOverhead(),
+		},
+		"ondie+raim18": {
+			Key: "ondie+raim18", Display: "On-die SEC + RAIM18 + ECC Parity",
+			Base: onDieRaim, Traffic: TrafficParity,
+			OnDieOverhead: onDieRaim.OnDieOverhead(),
+		},
 	}
 }
 
-// SchemeByKey fetches a configuration; it panics on unknown keys (keys are
-// compile-time constants throughout this repository).
-func SchemeByKey(key string) SchemeConfig {
-	s, ok := schemes()[key]
-	if !ok {
-		panic(fmt.Sprintf("sim: unknown scheme %q", key))
+// KnownScheme reports whether key names a registered evaluated
+// configuration (parameterized variants resolve through SchemeVariant).
+func KnownScheme(key string) bool {
+	_, ok := schemes()[key]
+	return ok
+}
+
+// SchemeKeys returns every evaluated configuration key in sorted order.
+func SchemeKeys() []string {
+	shared := schemes()
+	keys := make([]string, 0, len(shared))
+	for k := range shared {
+		keys = append(keys, k)
 	}
-	return s
+	sort.Strings(keys)
+	return keys
+}
+
+// Parameterized scheme variants: (registry key, canonical options) pairs
+// interned once per process, so repeated experiment submissions with the
+// same options share the constructed codec tables and the memConfig
+// prototype cache stays coherent (each variant gets a distinct Key).
+var (
+	variantMu     sync.Mutex
+	variantShared = map[variantKey]SchemeConfig{}
+)
+
+type variantKey struct {
+	scheme, options string
+}
+
+// SchemeVariant resolves a scheme key plus canonical constructor options
+// (ecc.CanonicalOptions form; "" means defaults) to an evaluated
+// configuration. Defaults resolve to the shared registry entry; non-default
+// options intern a variant whose Key carries the options string.
+func SchemeVariant(key, options string) (SchemeConfig, error) {
+	if options == "" {
+		sc, ok := schemes()[key]
+		if !ok {
+			return SchemeConfig{}, &ConfigError{Field: "scheme", Reason: fmt.Sprintf("unknown scheme %q", key)}
+		}
+		return sc, nil
+	}
+	base, ok := schemes()[key]
+	if !ok {
+		return SchemeConfig{}, &ConfigError{Field: "scheme", Reason: fmt.Sprintf("unknown scheme %q", key)}
+	}
+	vk := variantKey{scheme: key, options: options}
+	variantMu.Lock()
+	defer variantMu.Unlock()
+	if sc, ok := variantShared[vk]; ok {
+		return sc, nil
+	}
+	s, err := ecc.Build(key, options)
+	if err != nil {
+		return SchemeConfig{}, &ConfigError{Field: "scheme_options", Reason: err.Error()}
+	}
+	sc := base
+	sc.Key = key + "?" + options
+	sc.Display = base.Display + " " + options
+	sc.Base = s
+	if od, ok := s.(interface{ OnDieOverhead() float64 }); ok {
+		sc.OnDieOverhead = od.OnDieOverhead()
+	}
+	variantShared[vk] = sc
+	return sc, nil
+}
+
+// SchemeByKey fetches a configuration; it panics on unknown keys (keys are
+// compile-time constants throughout this repository, or variant keys
+// already interned by SchemeVariant).
+func SchemeByKey(key string) SchemeConfig {
+	if s, ok := schemes()[key]; ok {
+		return s
+	}
+	if s, ok := lookupVariant(key); ok {
+		return s
+	}
+	panic(fmt.Sprintf("sim: unknown scheme %q", key))
+}
+
+// lookupVariant resolves a "key?options" variant key interned earlier by
+// SchemeVariant.
+func lookupVariant(key string) (SchemeConfig, bool) {
+	i := strings.Index(key, "?")
+	if i < 0 {
+		return SchemeConfig{}, false
+	}
+	variantMu.Lock()
+	defer variantMu.Unlock()
+	sc, ok := variantShared[variantKey{scheme: key[:i], options: key[i+1:]}]
+	return sc, ok
 }
 
 // memConfig returns the controller configuration of a scheme in a class
@@ -193,7 +316,7 @@ func buildMemConfig(sc SchemeConfig, class SystemClass) mem.Config {
 	widest := dram.X4
 	for _, cls := range g.Chips {
 		for i := 0; i < cls.Count; i++ {
-			chips = append(chips, dram.Chip2GbDDR3(dram.Width(cls.Width)))
+			chips = append(chips, dram.Chip2GbDDR3(dram.Width(cls.Width)).WithOnDieECC(sc.OnDieOverhead))
 		}
 		if dram.Width(cls.Width) > widest {
 			widest = dram.Width(cls.Width)

@@ -100,3 +100,53 @@ func TestExecutorCancellationCachesNothing(t *testing.T) {
 		t.Error("retry after cancel diverges from fresh run")
 	}
 }
+
+// TestRunBatchSchemeAxis extends the batch determinism contract to the
+// scheme axis: a grid expanded over schemes runs through one Executor
+// byte-identically to independent single Runners, at worker counts 1 and 8
+// — the property that lets the daemon's sweep path serve scheme axes from
+// its pooled executors.
+func TestRunBatchSchemeAxis(t *testing.T) {
+	ctx := context.Background()
+	base := Params{Cycles: 4000, Warmup: 500, Trials: 8, Seed: 1}
+	expanded, err := ExpandSweep("faultinject", base,
+		SweepAxes{Schemes: []string{"ondie-sec", "ondie+chipkill", "ondie+raim18"}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := base
+	pass.Scheme, pass.SchemeOptions = "ondie+chipkill", `{"passthrough":true}`
+	expanded = append(expanded,
+		SweepPoint{Experiment: "faultinject", Params: pass},
+		SweepPoint{Experiment: "schemeeval", Params: base},
+		SweepPoint{Experiment: "harpprofile", Params: base},
+	)
+
+	var prev []Report
+	for _, workers := range []int{1, 8} {
+		points := make([]SweepPoint, len(expanded))
+		copy(points, expanded)
+		for i := range points {
+			points[i].Params.Workers = workers
+		}
+		batch, err := RunBatch(ctx, points, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: RunBatch: %v", workers, err)
+		}
+		for i, pt := range points {
+			single, err := NewRunner(pt.Params, nil).RunContext(ctx, pt.Experiment)
+			if err != nil {
+				t.Fatalf("workers=%d point %d (%s %s): single run: %v", workers, i, pt.Experiment, pt.Params.Scheme, err)
+			}
+			if batch[i].Text != single.Text {
+				t.Errorf("workers=%d point %d (%s %s): batch Text diverges from independent run",
+					workers, i, pt.Experiment, pt.Params.Scheme)
+			}
+			if prev != nil && batch[i].Text != prev[i].Text {
+				t.Errorf("point %d (%s %s): Text differs between workers=1 and workers=8",
+					i, pt.Experiment, pt.Params.Scheme)
+			}
+		}
+		prev = batch
+	}
+}

@@ -40,6 +40,11 @@ var registry = map[string]spec{
 	"fig2":       {source: "faultmc", title: "Fig. 2 — mean time between faults in different channels", run: fig2},
 	"fig8":       {source: "faultmc", title: "Fig. 8 — EOL fraction with materialized correction bits", run: fig8},
 	"fig18":      {source: "faultmc", title: "Fig. 18 — P(multi-channel faults within one scrub window)", run: fig18},
+	"schemeeval": {source: "serve", title: "Scheme evaluation — per-workload IPC/EPI/bandwidth for one configuration", run: schemeEval,
+		schemeAware: true, defaultScheme: "ondie+chipkill", engineDomain: true},
+	"faultinject": {source: "serve", title: "Fault injection — codeword-level Monte Carlo outcomes for one scheme", run: faultInject,
+		schemeAware: true, defaultScheme: "ondie+chipkill"},
+	"harpprofile": {source: "serve", title: "HARP profiling — at-risk bit coverage, on-die ECC active vs bypassed", run: harpProfile},
 }
 
 func header(w io.Writer, title string) {

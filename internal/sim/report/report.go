@@ -26,12 +26,19 @@ import (
 // callers hashing a Params for caching must leave it out — the json tag
 // enforces that for the common encoding/json path.
 type Params struct {
-	Cycles  float64 `json:"cycles"`
-	Warmup  int     `json:"warmup"`
-	Trials  int     `json:"trials"`
-	Seed    int64   `json:"seed"`
-	CSV     bool    `json:"csv,omitempty"`
-	Workers int     `json:"-"`
+	Cycles float64 `json:"cycles"`
+	Warmup int     `json:"warmup"`
+	Trials int     `json:"trials"`
+	Seed   int64   `json:"seed"`
+	CSV    bool    `json:"csv,omitempty"`
+	// Scheme selects the resilience scheme of scheme-aware experiments
+	// (empty means the experiment's default). SchemeOptions carries the
+	// scheme's constructor options in ecc.CanonicalOptions form. Both are
+	// omitempty so requests that predate the scheme layer keep their exact
+	// serialized identity — and therefore their content-address.
+	Scheme        string `json:"scheme,omitempty"`
+	SchemeOptions string `json:"scheme_options,omitempty"`
+	Workers       int    `json:"-"`
 }
 
 // DefaultParams returns the full-fidelity budget of cmd/eccsim.
@@ -162,9 +169,17 @@ func (r *Runner) fig9Rows() ([]sim.Fig9Row, error) {
 // (typically ctx.Err() after a cancel), in which case the partial text is
 // discarded.
 type spec struct {
-	source string // "eccsim" or "faultmc": which CLI owns the id
+	source string // "eccsim", "faultmc" or "serve": which front end owns the id
 	title  string
 	run    func(r *Runner, w io.Writer) (any, error)
+	// schemeAware experiments honour Params.Scheme/SchemeOptions;
+	// defaultScheme is what an empty Params.Scheme resolves to, and
+	// engineDomain additionally admits engine-only configurations
+	// (sim.Schemes keys with no ecc registry entry, e.g. the parity
+	// overlays).
+	schemeAware   bool
+	defaultScheme string
+	engineDomain  bool
 }
 
 // Run executes one experiment id and returns its Report. It cannot be
@@ -231,3 +246,17 @@ func EccsimIDs() []string {
 // FaultmcIDs returns the ids `faultmc -exp all` runs, in its execution
 // order (fig2 first: its output opens without a leading blank line).
 func FaultmcIDs() []string { return []string{"fig2", "fig8", "fig18"} }
+
+// ServeIDs returns the daemon-first experiment ids, sorted: registered
+// experiments outside both CLIs' historical `-exp all` sets (the CLIs
+// still run them when named explicitly).
+func ServeIDs() []string {
+	out := []string{}
+	for id, sp := range registry {
+		if sp.source == "serve" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -16,8 +16,11 @@ func TestRegistryCoversBothCLIs(t *testing.T) {
 	if got := FaultmcIDs(); len(got) != 3 || got[0] != "fig2" {
 		t.Errorf("FaultmcIDs = %v, want [fig2 fig8 fig18]", got)
 	}
-	if len(IDs()) != 20 {
-		t.Errorf("IDs: %d ids, want 20", len(IDs()))
+	if len(IDs()) != 23 {
+		t.Errorf("IDs: %d ids, want 23", len(IDs()))
+	}
+	if got := ServeIDs(); len(got) != 3 {
+		t.Errorf("ServeIDs = %v, want the three daemon-first ids", got)
 	}
 	for _, id := range IDs() {
 		if !Known(id) {

@@ -1,0 +1,81 @@
+package report
+
+// The scheme layer of the experiment registry: which experiments honour
+// Params.Scheme, what an empty scheme resolves to, and the one
+// normalization path every front end (daemon, CLIs, sweeps) shares so that
+// equivalent scheme selections always reach the result cache as one
+// canonical identity.
+
+import (
+	"fmt"
+
+	"eccparity/internal/ecc"
+	"eccparity/internal/sim"
+)
+
+// SchemeAware reports whether the experiment honours Params.Scheme.
+func SchemeAware(id string) bool { return registry[id].schemeAware }
+
+// DefaultScheme returns what an empty Params.Scheme resolves to for a
+// scheme-aware experiment ("" for unknown or scheme-blind ids).
+func DefaultScheme(id string) string { return registry[id].defaultScheme }
+
+// NormalizedFor resolves p to the canonical identity the result cache
+// hashes for experiment id: the plain Normalized knobs plus canonicalized
+// scheme fields. Scheme fields on a scheme-blind experiment are an error;
+// on a scheme-aware one the scheme must be registered (ecc registry keys,
+// plus engine-only sim configurations where the experiment admits them),
+// options must validate against the scheme, and the explicit default
+// selection normalizes to empty fields — so "scheme omitted" and "scheme
+// set to the default" are one cache entry, and every pre-scheme-layer
+// request keeps its original content-address.
+func (p Params) NormalizedFor(id string) (Params, error) {
+	sp, ok := registry[id]
+	if !ok {
+		return Params{}, fmt.Errorf("report: unknown experiment %q", id)
+	}
+	p = p.Normalized()
+	if !sp.schemeAware {
+		if p.Scheme != "" || p.SchemeOptions != "" {
+			return Params{}, fmt.Errorf("report: experiment %q is not scheme-aware", id)
+		}
+		return p, nil
+	}
+	scheme := p.Scheme
+	if scheme == "" {
+		scheme = sp.defaultScheme
+	}
+	var canon string
+	switch {
+	case ecc.Known(scheme):
+		c, err := ecc.CanonicalOptions(scheme, []byte(p.SchemeOptions))
+		if err != nil {
+			return Params{}, fmt.Errorf("report: experiment %q: %w", id, err)
+		}
+		canon = c
+	case sp.engineDomain && sim.KnownScheme(scheme):
+		if p.SchemeOptions != "" {
+			return Params{}, fmt.Errorf("report: experiment %q: engine-only scheme %q accepts no options", id, scheme)
+		}
+	default:
+		return Params{}, fmt.Errorf("report: experiment %q: unknown scheme %q", id, scheme)
+	}
+	if scheme == sp.defaultScheme && canon == "" {
+		p.Scheme, p.SchemeOptions = "", ""
+	} else {
+		p.Scheme, p.SchemeOptions = scheme, canon
+	}
+	return p, nil
+}
+
+// schemeFor resolves the Runner's effective (scheme, canonical options),
+// falling back to the experiment's default. The default is passed in
+// rather than read from the registry so renderer functions stay free of
+// initialization cycles with the registry literal.
+func (r *Runner) schemeFor(defaultScheme string) (scheme, options string) {
+	scheme = r.p.Scheme
+	if scheme == "" {
+		scheme = defaultScheme
+	}
+	return scheme, r.p.SchemeOptions
+}

@@ -19,6 +19,7 @@ import (
 // every listed value to the cross-product.
 type SweepAxes struct {
 	Experiments []string
+	Schemes     []string
 	Cycles      []float64
 	Warmup      []int
 	Trials      []int
@@ -49,6 +50,10 @@ func ExpandSweep(baseExperiment string, base Params, axes SweepAxes, maxPoints i
 		if !Known(id) {
 			return nil, &sim.ConfigError{Field: "experiment", Reason: fmt.Sprintf("unknown experiment %q (axes may only name registered ids)", id)}
 		}
+	}
+	schemes := axes.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{base.Scheme}
 	}
 	cycles := axes.Cycles
 	if len(cycles) == 0 {
@@ -85,7 +90,7 @@ func ExpandSweep(baseExperiment string, base Params, axes SweepAxes, maxPoints i
 	// Stepwise product so absurd axis lengths cannot overflow before the
 	// cap check fires.
 	n := 1
-	for _, k := range []int{len(experiments), len(cycles), len(warmups), len(trials), len(seeds)} {
+	for _, k := range []int{len(experiments), len(schemes), len(cycles), len(warmups), len(trials), len(seeds)} {
 		n *= k
 		if maxPoints > 0 && n > maxPoints {
 			return nil, &sim.ConfigError{Field: "axes", Reason: fmt.Sprintf("sweep expands to at least %d points, max %d", n, maxPoints)}
@@ -95,20 +100,27 @@ func ExpandSweep(baseExperiment string, base Params, axes SweepAxes, maxPoints i
 	points := make([]SweepPoint, 0, n)
 	seen := make(map[SweepPoint]int, n)
 	for _, exp := range experiments {
-		for _, cy := range cycles {
-			for _, wu := range warmups {
-				for _, tr := range trials {
-					for _, sd := range seeds {
-						p := base
-						p.Cycles, p.Warmup, p.Trials, p.Seed = cy, wu, tr, sd
-						pt := SweepPoint{Experiment: exp, Params: p.Normalized()}
-						if prev, dup := seen[pt]; dup {
-							return nil, &sim.ConfigError{Field: "points", Reason: fmt.Sprintf(
-								"points %d and %d normalize to the same config (%s seed=%d cycles=%g warmup=%d trials=%d)",
-								prev, len(points), pt.Experiment, pt.Params.Seed, pt.Params.Cycles, pt.Params.Warmup, pt.Params.Trials)}
+		for _, sch := range schemes {
+			for _, cy := range cycles {
+				for _, wu := range warmups {
+					for _, tr := range trials {
+						for _, sd := range seeds {
+							p := base
+							p.Scheme = sch
+							p.Cycles, p.Warmup, p.Trials, p.Seed = cy, wu, tr, sd
+							norm, err := p.NormalizedFor(exp)
+							if err != nil {
+								return nil, &sim.ConfigError{Field: "scheme", Reason: err.Error()}
+							}
+							pt := SweepPoint{Experiment: exp, Params: norm}
+							if prev, dup := seen[pt]; dup {
+								return nil, &sim.ConfigError{Field: "points", Reason: fmt.Sprintf(
+									"points %d and %d normalize to the same config (%s scheme=%q seed=%d cycles=%g warmup=%d trials=%d)",
+									prev, len(points), pt.Experiment, pt.Params.Scheme, pt.Params.Seed, pt.Params.Cycles, pt.Params.Warmup, pt.Params.Trials)}
+							}
+							seen[pt] = len(points)
+							points = append(points, pt)
 						}
-						seen[pt] = len(points)
-						points = append(points, pt)
 					}
 				}
 			}

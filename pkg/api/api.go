@@ -8,6 +8,7 @@
 //
 //	POST   /v1/experiments      SubmitRequest → SubmitResponse (202, or 200 on cache hit)
 //	GET    /v1/experiments      ExperimentList
+//	GET    /v1/schemes          SchemeList
 //	GET    /v1/jobs/{id}        JobStatus
 //	DELETE /v1/jobs/{id}        cancel a job → JobStatus
 //	GET    /v1/results/{hash}   Result document (content-addressed)
@@ -81,6 +82,16 @@ type SubmitRequest struct {
 	Trials     int     `json:"trials,omitempty"`
 	Seed       int64   `json:"seed,omitempty"`
 	CSV        bool    `json:"csv,omitempty"`
+	// Scheme selects the resilience scheme of scheme-aware experiments
+	// (GET /v1/schemes lists them; empty means the experiment's default —
+	// and IS the experiment's default, so the two spellings share one cache
+	// identity). Scheme-blind experiments reject a non-empty Scheme.
+	Scheme string `json:"scheme,omitempty"`
+	// SchemeOptions is the scheme's constructor-options JSON object (the
+	// schemes listing documents each scheme's options). The server
+	// canonicalizes it before hashing, so formatting differences never
+	// split the cache. Only valid alongside a scheme that declares options.
+	SchemeOptions json.RawMessage `json:"scheme_options,omitempty"`
 	// TimeoutSeconds bounds the job's execution time, counted from when a
 	// worker starts it. The server's configured default acts as a ceiling:
 	// the effective deadline is the smaller of the two. Zero inherits the
@@ -127,13 +138,18 @@ type JobStatus struct {
 }
 
 // Params is the normalized experiment identity inside a Result. Workers is
-// absent by design: results are worker-count invariant.
+// absent by design: results are worker-count invariant. Scheme and
+// SchemeOptions appear only when a scheme-aware experiment selected a
+// non-default configuration (SchemeOptions in canonical form); requests
+// that predate the scheme layer keep their exact serialized identity.
 type Params struct {
-	Cycles float64 `json:"cycles"`
-	Warmup int     `json:"warmup"`
-	Trials int     `json:"trials"`
-	Seed   int64   `json:"seed"`
-	CSV    bool    `json:"csv,omitempty"`
+	Cycles        float64 `json:"cycles"`
+	Warmup        int     `json:"warmup"`
+	Trials        int     `json:"trials"`
+	Seed          int64   `json:"seed"`
+	CSV           bool    `json:"csv,omitempty"`
+	Scheme        string  `json:"scheme,omitempty"`
+	SchemeOptions string  `json:"scheme_options,omitempty"`
 }
 
 // Report is one experiment's rendered output: the exact text the eccsim /
@@ -174,6 +190,7 @@ type SweepRequest struct {
 // are rejected rather than silently double-computed.
 type SweepAxes struct {
 	Experiment []string  `json:"experiment,omitempty"`
+	Scheme     []string  `json:"scheme,omitempty"`
 	Cycles     []float64 `json:"cycles,omitempty"`
 	Warmup     []int     `json:"warmup,omitempty"`
 	Trials     []int     `json:"trials,omitempty"`
@@ -239,15 +256,44 @@ type SweepEvent struct {
 	Sweep *SweepStatus `json:"sweep,omitempty"`
 }
 
-// ExperimentInfo is one registry entry in GET /v1/experiments.
+// ExperimentInfo is one registry entry in GET /v1/experiments. Scheme
+// fields appear only on scheme-aware experiments.
 type ExperimentInfo struct {
 	ID    string `json:"id"`
 	Title string `json:"title"`
+	// SchemeAware reports whether the experiment honours SubmitRequest.Scheme.
+	SchemeAware bool `json:"scheme_aware,omitempty"`
+	// DefaultScheme is what an empty Scheme resolves to.
+	DefaultScheme string `json:"default_scheme,omitempty"`
 }
 
 // ExperimentList answers GET /v1/experiments.
 type ExperimentList struct {
 	Experiments []ExperimentInfo `json:"experiments"`
+}
+
+// SchemeOption documents one constructor option of a scheme.
+type SchemeOption struct {
+	Name        string `json:"name"`
+	Type        string `json:"type"`
+	Description string `json:"description"`
+}
+
+// SchemeInfo is one scheme registry entry in GET /v1/schemes.
+type SchemeInfo struct {
+	Key         string `json:"key"`
+	Description string `json:"description"`
+	// ChipKillCorrect reports whether the scheme corrects any single-chip
+	// failure.
+	ChipKillCorrect bool `json:"chip_kill_correct"`
+	// Options lists the constructor options SubmitRequest.SchemeOptions may
+	// set for this scheme (absent for fixed schemes).
+	Options []SchemeOption `json:"options,omitempty"`
+}
+
+// SchemeList answers GET /v1/schemes, in key order.
+type SchemeList struct {
+	Schemes []SchemeInfo `json:"schemes"`
 }
 
 // Machine-readable error codes carried in the error envelope.
@@ -257,6 +303,9 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	// CodeUnknownExperiment: the experiment id is not registered (HTTP 400).
 	CodeUnknownExperiment = "unknown_experiment"
+	// CodeUnknownScheme: the scheme is not registered, its options are
+	// invalid, or the experiment does not take a scheme (HTTP 400).
+	CodeUnknownScheme = "unknown_scheme"
 	// CodeBudgetTooLarge: cycles/warmup/trials exceed the guardrails, or a
 	// sweep expands past the server's point cap (HTTP 400).
 	CodeBudgetTooLarge = "budget_too_large"

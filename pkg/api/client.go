@@ -120,6 +120,17 @@ func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 	return out.Experiments, nil
 }
 
+// ListSchemes lists the resilience scheme registry: every key a
+// scheme-aware submission (SubmitRequest.Scheme) or sweep scheme axis
+// accepts, with each scheme's constructor options.
+func (c *Client) ListSchemes(ctx context.Context) ([]SchemeInfo, error) {
+	var out SchemeList
+	if err := c.do(ctx, http.MethodGet, "/v1/schemes", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Schemes, nil
+}
+
 // Wait polls a job every poll interval (default 50ms when ≤ 0) until it
 // reaches a terminal state or ctx is done. The terminal snapshot is
 // returned even for failed/canceled jobs; only transport and ctx errors
