@@ -40,14 +40,37 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"eccparity/internal/blob"
+	"eccparity/internal/blob/ec"
 	"eccparity/internal/cliflags"
 	"eccparity/internal/cluster"
 	"eccparity/internal/serve"
 )
+
+// parseECGeometry parses the -blob-ec value: "k,m" with k ≥ 1 data shards
+// and m ≥ 1 parity shards. Range limits live in ec.New; this only enforces
+// the flag's shape.
+func parseECGeometry(s string) (k, m int, err error) {
+	ks, ms, ok := strings.Cut(s, ",")
+	if ok {
+		k, err = strconv.Atoi(strings.TrimSpace(ks))
+		if err == nil {
+			m, err = strconv.Atoi(strings.TrimSpace(ms))
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-blob-ec must be 'k,m', e.g. 4,2: got %q", s)
+	}
+	if k < 1 || m < 1 {
+		return 0, 0, fmt.Errorf("-blob-ec needs k >= 1 and m >= 1: got %d,%d", k, m)
+	}
+	return k, m, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8344", "listen address")
@@ -64,7 +87,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "this replica's id in -peers (required with -peers)")
 	peersFlag := flag.String("peers", "", "full replica list as id=baseURL pairs, e.g. 'a=http://h1:8344,b=http://h2:8344' (empty: single node)")
 	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the consistent-hash ring (must match across the fleet)")
-	blobDir := flag.String("blob-dir", "", "shared blob directory for the cross-replica result tier, e.g. an NFS mount (empty: none)")
+	blobDir := flag.String("blob-dir", "", "shared blob directory for the cross-replica result tier, e.g. an NFS mount (empty: none); with -blob-ec, a comma-separated list of exactly k+m shard roots or a single base dir to derive them under")
+	blobEC := flag.String("blob-ec", "", "erasure-code the shared blob tier as 'k,m' (k data + m parity shards per result); reads survive any m lost or corrupt shard roots")
 	flag.Parse()
 
 	for _, f := range []struct {
@@ -117,7 +141,31 @@ func main() {
 	if *progress {
 		opts.Progress = os.Stderr
 	}
-	if *blobDir != "" {
+	var ecK, ecM int
+	switch {
+	case *blobEC != "" && *blobDir == "":
+		fmt.Fprintln(os.Stderr, "-blob-ec requires -blob-dir naming the shard roots")
+		os.Exit(2)
+	case *blobEC != "":
+		k, m, err := parseECGeometry(*blobEC)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ecK, ecM = k, m
+		dirs := strings.Split(*blobDir, ",")
+		if len(dirs) == 1 {
+			dirs = ec.DeriveRoots(dirs[0], k+m)
+		} else if len(dirs) != k+m {
+			fmt.Fprintf(os.Stderr, "-blob-ec %d,%d needs exactly %d shard roots in -blob-dir, got %d\n", k, m, k+m, len(dirs))
+			os.Exit(2)
+		}
+		backend, err := ec.OpenFS(k, m, dirs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Blob = backend
+	case *blobDir != "":
 		fs, err := blob.NewFS(*blobDir)
 		if err != nil {
 			log.Fatal(err)
@@ -137,6 +185,10 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("eccsimd listening on %s (job workers %d, queue cap %d, scheduler %s, cache dir %q)",
 		*addr, *jobWorkers, *queueCap, *scheduler, *cacheDir)
+	if *blobEC != "" {
+		log.Printf("shared blob tier erasure-coded %d+%d over %q: reads survive any %d lost shard roots",
+			ecK, ecM, *blobDir, ecM)
+	}
 	if len(peers) > 0 {
 		log.Printf("clustered as node %q: %d replicas, %d vnodes, shared blob dir %q",
 			*nodeID, len(peers), *vnodes, *blobDir)

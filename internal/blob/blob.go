@@ -53,6 +53,25 @@ type Backend interface {
 	List(ctx context.Context) ([]string, error)
 }
 
+// RepairStats counts the degraded-mode activity of a backend that can
+// serve reads through partial damage (the erasure-coded wrapper in
+// internal/blob/ec). Plain single-copy backends don't implement it.
+type RepairStats struct {
+	// Repaired: shards rewritten with reconstructed bytes after a read
+	// served through missing or corrupt shards.
+	Repaired uint64
+	// ShardErrors: per-shard reads or writes that failed (missing, corrupt,
+	// or unreachable shard roots) while the operation as a whole still
+	// succeeded or degraded gracefully.
+	ShardErrors uint64
+}
+
+// RepairStatter is implemented by backends that track RepairStats;
+// internal/resultcache surfaces them as SharedRepaired/ShardErrors.
+type RepairStatter interface {
+	RepairStats() RepairStats
+}
+
 // validKey matches the content-address namespace: exactly 64 hex chars.
 var validKey = regexp.MustCompile(`^[0-9a-f]{64}$`)
 

@@ -1,0 +1,96 @@
+package ec
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"eccparity/internal/blob"
+	"eccparity/internal/gf"
+)
+
+// BenchmarkECEncodeDecode measures the pure striping cost of the (4,2)
+// geometry on a result-document-sized payload: encode all six shards, then
+// reconstruct from four survivors (two data shards erased — the worst
+// in-budget case, every missing shard needing matrix inversion).
+func BenchmarkECEncodeDecode(b *testing.B) {
+	const payloadLen = 64 << 10
+	const k, m = 4, 2
+	st := gf.NewStriper(k, m)
+	shardLen := (payloadLen + k - 1) / k
+
+	payload := bytes.Repeat([]byte("eccparity stripe benchmark body."), payloadLen/32)
+	shards := make([][]byte, k+m)
+	backing := make([][]byte, k+m)
+	for i := range shards {
+		backing[i] = make([]byte, shardLen)
+		if i < k {
+			copy(backing[i], payload[i*shardLen:min((i+1)*shardLen, payloadLen)])
+		}
+		shards[i] = backing[i]
+	}
+
+	b.SetBytes(payloadLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range shards {
+			shards[j] = backing[j]
+		}
+		if err := st.EncodeShards(shards); err != nil {
+			b.Fatal(err)
+		}
+		shards[0], shards[2] = nil, nil
+		if err := st.ReconstructShards(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSharedGetDegraded measures the full degraded read path the
+// resultcache sees when m shard roots are dead mounts: fetch the surviving
+// shards from disk, vote the stripe group, reconstruct, verify the
+// end-to-end checksum, and skip the unreachable roots during repair. The
+// dead mounts keep the tier permanently degraded, so every iteration pays
+// the reconstruction — the steady state a half-failed fleet lives in.
+func BenchmarkSharedGetDegraded(b *testing.B) {
+	const payloadLen = 64 << 10
+	dirs := DeriveRoots(b.TempDir(), 6)
+	healthy, err := OpenFS(4, 2, dirs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := testKey("bench-degraded")
+	payload := bytes.Repeat([]byte("degraded read benchmark payload."), payloadLen/32)
+	if err := healthy.Put(context.Background(), key, payload); err != nil {
+		b.Fatal(err)
+	}
+
+	roots := make([]blob.Backend, 6)
+	for i, d := range dirs {
+		if i == 1 || i == 4 {
+			roots[i] = failRoot{}
+			continue
+		}
+		fs, err := blob.NewFS(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roots[i] = fs
+	}
+	degraded, err := New(4, 2, roots)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.SetBytes(payloadLen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := degraded.Get(context.Background(), key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			b.Fatal("degraded read returned wrong bytes")
+		}
+	}
+}

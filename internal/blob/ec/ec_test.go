@@ -1,0 +1,441 @@
+package ec
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"eccparity/internal/blob"
+)
+
+func testKey(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:])
+}
+
+// newECFS builds a (k, m) backend over fresh FS shard roots under one base
+// temp dir, returning the backend and the root directories.
+func newECFS(t *testing.T, k, m int) (*Backend, []string) {
+	t.Helper()
+	dirs := DeriveRoots(t.TempDir(), k+m)
+	b, err := OpenFS(k, m, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, dirs
+}
+
+// shardPath mirrors blob.FS's fan-out layout inside one shard root.
+func shardPath(root, key string) string {
+	return filepath.Join(root, key[:2], key+".blob")
+}
+
+func TestECRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	b, _ := newECFS(t, 4, 2)
+	payloads := [][]byte{
+		[]byte{},
+		[]byte("x"),
+		[]byte("exactly sixteen!"),              // multiple of k
+		[]byte(`{"experiment":"fig8","n":17}`),  // non-multiple
+		bytes.Repeat([]byte("stripe me "), 500), // multi-KB
+	}
+	for i, want := range payloads {
+		k := testKey(fmt.Sprintf("rt-%d", i))
+		if err := b.Put(ctx, k, want); err != nil {
+			t.Fatalf("payload %d: Put: %v", i, err)
+		}
+		got, err := b.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("payload %d: Get: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("payload %d: Get = %q, want %q", i, got, want)
+		}
+	}
+	if s := b.RepairStats(); s.Repaired != 0 || s.ShardErrors != 0 {
+		t.Fatalf("clean round trips recorded damage: %+v", s)
+	}
+}
+
+func TestECGetNotFound(t *testing.T) {
+	b, _ := newECFS(t, 2, 1)
+	if _, err := b.Get(context.Background(), testKey("missing")); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("Get(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestECBadKey(t *testing.T) {
+	b, _ := newECFS(t, 2, 1)
+	ctx := context.Background()
+	if err := b.Put(ctx, "nope", nil); !errors.Is(err, blob.ErrBadKey) {
+		t.Fatalf("Put = %v, want ErrBadKey", err)
+	}
+	if _, err := b.Get(ctx, "nope"); !errors.Is(err, blob.ErrBadKey) {
+		t.Fatalf("Get = %v, want ErrBadKey", err)
+	}
+	if err := b.Delete(ctx, "nope"); !errors.Is(err, blob.ErrBadKey) {
+		t.Fatalf("Delete = %v, want ErrBadKey", err)
+	}
+}
+
+// The core guarantee, exhaustively: at k=4, m=2, deleting ANY two shard
+// roots leaves every payload readable byte-identically, the degraded read
+// repairs the deleted shards, and the following read is clean.
+func TestECAnyTwoRootsLostStillServesAndRepairs(t *testing.T) {
+	ctx := context.Background()
+	want := []byte(`{"rows":[1,2,3],"pad":"abcdefghijklmnopqrstuvwxyz"}`)
+	const n = 6
+	for a := 0; a < n; a++ {
+		for c := a + 1; c < n; c++ {
+			t.Run(fmt.Sprintf("lost_%d_%d", a, c), func(t *testing.T) {
+				b, dirs := newECFS(t, 4, 2)
+				k := testKey(fmt.Sprintf("loss-%d-%d", a, c))
+				if err := b.Put(ctx, k, want); err != nil {
+					t.Fatal(err)
+				}
+				for _, i := range []int{a, c} {
+					if err := os.RemoveAll(dirs[i]); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := b.Get(ctx, k)
+				if err != nil {
+					t.Fatalf("degraded Get: %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("degraded Get = %q, want %q", got, want)
+				}
+				if s := b.RepairStats(); s.Repaired != 2 {
+					t.Fatalf("Repaired = %d, want 2", s.Repaired)
+				}
+				// The repair healed the stripe: both shard files are back
+				// and a fresh backend over the same roots reads cleanly.
+				for _, i := range []int{a, c} {
+					if _, err := os.Stat(shardPath(dirs[i], k)); err != nil {
+						t.Fatalf("shard root %d not repaired: %v", i, err)
+					}
+				}
+				fresh, err := OpenFS(4, 2, dirs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got, err := fresh.Get(ctx, k); err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("post-repair Get = %q, %v", got, err)
+				}
+				if s := fresh.RepairStats(); s.Repaired != 0 || s.ShardErrors != 0 {
+					t.Fatalf("post-repair read still degraded: %+v", s)
+				}
+			})
+		}
+	}
+}
+
+// Up to m corrupt shards are voted out, served through, and repaired; the
+// roots' own frame checks delete the bit-rotted files.
+func TestECCorruptShardsServedAndRepaired(t *testing.T) {
+	ctx := context.Background()
+	b, dirs := newECFS(t, 4, 2)
+	want := []byte("payload that outlives bit rot in two of six shards")
+	k := testKey("corrupt-2")
+	if err := b.Put(ctx, k, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 4} {
+		if err := os.WriteFile(shardPath(dirs[i], k), []byte("garbage, not a frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := b.Get(ctx, k)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Get through 2 corrupt shards = %q, %v", got, err)
+	}
+	s := b.RepairStats()
+	if s.Repaired != 2 || s.ShardErrors != 2 {
+		t.Fatalf("stats = %+v, want 2 repaired / 2 shard errors", s)
+	}
+	// Healed: every shard decodes again.
+	fresh, _ := OpenFS(4, 2, dirs)
+	if got, err := fresh.Get(ctx, k); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("post-repair Get = %q, %v", got, err)
+	}
+}
+
+// A shard left over from an older geometry loses the stripe vote and is
+// replaced, not trusted.
+func TestECStaleGeometryShardVotedOut(t *testing.T) {
+	ctx := context.Background()
+	b, dirs := newECFS(t, 4, 2)
+	want := []byte("current generation bytes")
+	k := testKey("stale-geom")
+	if err := b.Put(ctx, k, want); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a well-framed shard with mismatched geometry in root 0 — as if
+	// the fleet was re-deployed from (5,1) to (4,2) without wiping the tier.
+	stale, err := blob.NewFS(dirs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Put(ctx, k, encodeShard(5, 1, 0, 3, testKey("other"), []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Get(ctx, k)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Get with stale shard = %q, %v", got, err)
+	}
+	if s := b.RepairStats(); s.Repaired != 1 {
+		t.Fatalf("stale shard not repaired: %+v", s)
+	}
+}
+
+// More than m destroyed shards is unrecoverable: ErrCorrupt, and the
+// leftover shards are deleted so the next read is a clean miss — exactly
+// the single-copy backend's corrupt contract.
+func TestECTooManyCorruptIsErrCorruptAndCleansUp(t *testing.T) {
+	ctx := context.Background()
+	b, dirs := newECFS(t, 4, 2)
+	want := []byte("three dead shards cannot be survived at m=2")
+	k := testKey("corrupt-3")
+	if err := b.Put(ctx, k, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 2, 5} {
+		if err := os.WriteFile(shardPath(dirs[i], k), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := b.Get(ctx, k); !errors.Is(err, blob.ErrCorrupt) {
+		t.Fatalf("Get = %v, want ErrCorrupt", err)
+	}
+	for i, d := range dirs {
+		if _, err := os.Stat(shardPath(d, k)); !os.IsNotExist(err) {
+			t.Fatalf("shard %d not cleaned up after unrecoverable stripe", i)
+		}
+	}
+	if _, err := b.Get(ctx, k); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("second Get = %v, want ErrNotFound", err)
+	}
+}
+
+// failRoot simulates an unreachable shard root (a dead mount): every
+// operation returns a transport error.
+type failRoot struct{}
+
+var errMountGone = errors.New("mount gone")
+
+func (failRoot) Put(context.Context, string, []byte) error   { return errMountGone }
+func (failRoot) Get(context.Context, string) ([]byte, error) { return nil, errMountGone }
+func (failRoot) Delete(context.Context, string) error        { return errMountGone }
+func (failRoot) List(context.Context) ([]string, error)      { return nil, errMountGone }
+
+// mixedRoots builds a (4,2) backend whose listed root indices are dead
+// mounts; the rest are FS roots seeded by a healthy twin backend.
+func mixedRoots(t *testing.T, dead ...int) (healthy, mixed *Backend, key string, want []byte) {
+	t.Helper()
+	dirs := DeriveRoots(t.TempDir(), 6)
+	healthy, err := OpenFS(4, 2, dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []byte("bytes behind a partially dead tier")
+	key = testKey("transport")
+	if err := healthy.Put(context.Background(), key, want); err != nil {
+		t.Fatal(err)
+	}
+	roots := make([]blob.Backend, 6)
+	for i, d := range dirs {
+		fs, err := blob.NewFS(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots[i] = fs
+	}
+	for _, i := range dead {
+		roots[i] = failRoot{}
+	}
+	mixed, err = New(4, 2, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return healthy, mixed, key, want
+}
+
+// Up to m unreachable roots: the read serves from the survivors. The dead
+// roots are NOT written to (repair skips them) and nothing is deleted.
+func TestECTransportErrorsWithinBudgetServe(t *testing.T) {
+	_, mixed, key, want := mixedRoots(t, 1, 4)
+	got, err := mixed.Get(context.Background(), key)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Get with 2 dead mounts = %q, %v", got, err)
+	}
+	s := mixed.RepairStats()
+	if s.ShardErrors != 2 {
+		t.Fatalf("ShardErrors = %d, want 2", s.ShardErrors)
+	}
+	if s.Repaired != 0 {
+		t.Fatalf("Repaired = %d, want 0 (dead mounts must not be repair targets)", s.Repaired)
+	}
+}
+
+// More than m unreachable roots: the read is a transport error — never
+// ErrNotFound or ErrCorrupt, and the surviving shards must not be deleted
+// (the stripe is probably fine; the mounts are not).
+func TestECTransportErrorsBeyondBudgetFailWithoutDeleting(t *testing.T) {
+	healthy, mixed, key, want := mixedRoots(t, 0, 2, 3)
+	_, err := mixed.Get(context.Background(), key)
+	if err == nil || errors.Is(err, blob.ErrNotFound) || errors.Is(err, blob.ErrCorrupt) {
+		t.Fatalf("Get with 3 dead mounts = %v, want a transport error", err)
+	}
+	// The healthy twin still reads everything: no shard was deleted.
+	got, err := healthy.Get(context.Background(), key)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("healthy Get after failed degraded read = %q, %v", got, err)
+	}
+}
+
+// A publish that lands at least k shards succeeds (degraded write), and a
+// later read heals the hole once the root returns; fewer than k landed
+// shards is a failed publish.
+func TestECPutDegradedWrites(t *testing.T) {
+	ctx := context.Background()
+	dirs := DeriveRoots(t.TempDir(), 6)
+	roots := make([]blob.Backend, 6)
+	for i, d := range dirs {
+		fs, err := blob.NewFS(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		roots[i] = fs
+	}
+	roots[5] = failRoot{}
+	b, err := New(4, 2, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("degraded-put")
+	want := []byte("five of six shards land")
+	if err := b.Put(ctx, key, want); err != nil {
+		t.Fatalf("Put with 1 dead root = %v, want success", err)
+	}
+	if s := b.RepairStats(); s.ShardErrors != 1 {
+		t.Fatalf("ShardErrors = %d, want 1", s.ShardErrors)
+	}
+	if got, err := b.Get(ctx, key); err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("Get after degraded put = %q, %v", got, err)
+	}
+
+	// 3 dead roots at k=4: the stripe can never reach k shards.
+	for _, i := range []int{1, 3} {
+		roots[i] = failRoot{}
+	}
+	b2, err := New(4, 2, roots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b2.Put(ctx, testKey("failed-put"), want); err == nil {
+		t.Fatal("Put with only 3 writable roots succeeded; want error")
+	}
+}
+
+func TestECDeleteIdempotent(t *testing.T) {
+	ctx := context.Background()
+	b, dirs := newECFS(t, 2, 1)
+	key := testKey("del")
+	if err := b.Delete(ctx, key); err != nil {
+		t.Fatalf("Delete(missing) = %v", err)
+	}
+	if err := b.Put(ctx, key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Delete(ctx, key); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range dirs {
+		if _, err := os.Stat(shardPath(d, key)); !os.IsNotExist(err) {
+			t.Fatalf("shard %d survived Delete", i)
+		}
+	}
+	if _, err := b.Get(ctx, key); !errors.Is(err, blob.ErrNotFound) {
+		t.Fatalf("Get after Delete = %v, want ErrNotFound", err)
+	}
+}
+
+// List returns only reconstructable stripes, skips stray files planted in
+// shard roots, tolerates up to m unreachable roots, and fails below k.
+func TestECList(t *testing.T) {
+	ctx := context.Background()
+	b, dirs := newECFS(t, 4, 2)
+	keys := []string{testKey("l1"), testKey("l2"), testKey("l3")}
+	for _, k := range keys {
+		if err := b.Put(ctx, k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Strays in the shard roots are skipped, not listed and not errors.
+	os.WriteFile(filepath.Join(dirs[0], "README"), []byte("x"), 0o644)
+	os.WriteFile(filepath.Join(dirs[1], keys[0][:2], "stray.txt"), []byte("x"), 0o644)
+	// A stripe degraded below k members must not be listed.
+	partial := testKey("gone")
+	if err := b.Put(ctx, partial, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range dirs[:3] {
+		os.Remove(shardPath(d, partial))
+	}
+
+	got, err := b.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(got)
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("List = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List = %v, want %v", got, want)
+		}
+	}
+
+	// m unreachable roots: still listable. k+ unreachable: error.
+	roots := make([]blob.Backend, 6)
+	for i, d := range dirs {
+		fs, _ := blob.NewFS(d)
+		roots[i] = fs
+	}
+	roots[0], roots[5] = failRoot{}, failRoot{}
+	degraded, _ := New(4, 2, roots)
+	if got, err := degraded.List(ctx); err != nil || len(got) != len(keys) {
+		t.Fatalf("degraded List = %v, %v", got, err)
+	}
+	roots[1] = failRoot{}
+	dead, _ := New(4, 2, roots)
+	if _, err := dead.List(ctx); err == nil {
+		t.Fatal("List with 3 dead roots succeeded; want error")
+	}
+}
+
+func TestECNewValidation(t *testing.T) {
+	if _, err := New(0, 2, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(4, 0, nil); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := New(200, 100, make([]blob.Backend, 300)); err == nil {
+		t.Fatal("k+m > 255 accepted")
+	}
+	if _, err := New(4, 2, make([]blob.Backend, 5)); err == nil {
+		t.Fatal("root count != k+m accepted")
+	}
+}

@@ -3,6 +3,8 @@ package blob
 import (
 	"context"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"strings"
@@ -17,9 +19,18 @@ import (
 // Backend contract requires.
 type FS struct {
 	root string
+
+	// corruptReadHook, when non-nil, runs after Get has read a frame that
+	// fails verification and before it decides whether to delete the file.
+	// Test-only: it lets the corrupt-delete race be forced deterministically
+	// (a concurrent Put renaming a good blob into place at exactly that
+	// moment).
+	corruptReadHook func(key string)
 }
 
-// NewFS opens (creating if needed) a filesystem backend rooted at dir.
+// NewFS opens (creating if needed) a filesystem backend rooted at dir and
+// sweeps tmp orphans: a crash between CreateTemp and the rename leaves a
+// "<key>.tmp*" file behind, and nothing else would ever delete it.
 func NewFS(dir string) (*FS, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("blob: empty backend directory")
@@ -27,7 +38,37 @@ func NewFS(dir string) (*FS, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("blob: %w", err)
 	}
-	return &FS{root: dir}, nil
+	f := &FS{root: dir}
+	f.sweepOrphans()
+	return f, nil
+}
+
+// sweepOrphans removes leftover tmp files from crashed writes, in the root
+// (where older versions created them) and in the fan-out subdirectories
+// (where Put creates them now). Best-effort: an orphan that cannot be
+// removed is left for the next open.
+func (f *FS) sweepOrphans() {
+	sweepDir := func(dir string) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.Contains(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(dir, e.Name()))
+			}
+		}
+	}
+	sweepDir(f.root)
+	dirs, err := os.ReadDir(f.root)
+	if err != nil {
+		return
+	}
+	for _, d := range dirs {
+		if d.IsDir() && len(d.Name()) == 2 {
+			sweepDir(filepath.Join(f.root, d.Name()))
+		}
+	}
 }
 
 // path fans key out under root: <root>/<key[0:2]>/<key>.blob.
@@ -35,9 +76,11 @@ func (f *FS) path(key string) string {
 	return filepath.Join(f.root, key[:2], key+".blob")
 }
 
-// Put implements Backend. The frame is written to a tmp file in the root
-// and renamed into place, so a crash mid-write leaves only a tmp orphan,
-// never a truncated blob under a valid key.
+// Put implements Backend. The frame is written to a tmp file in the key's
+// own fan-out subdirectory and renamed into place: same-directory rename is
+// atomic even when the fan-out dir is a different filesystem than an
+// ill-chosen tmp location would be, and a crash mid-write leaves the orphan
+// where NewFS's sweep finds it — never a truncated blob under a valid key.
 func (f *FS) Put(ctx context.Context, key string, payload []byte) error {
 	if !ValidKey(key) {
 		return ErrBadKey
@@ -48,7 +91,7 @@ func (f *FS) Put(ctx context.Context, key string, payload []byte) error {
 	if err := os.MkdirAll(filepath.Dir(f.path(key)), 0o755); err != nil {
 		return fmt.Errorf("blob: %w", err)
 	}
-	tmp, err := os.CreateTemp(f.root, key+".tmp*")
+	tmp, err := os.CreateTemp(filepath.Dir(f.path(key)), key+".tmp*")
 	if err != nil {
 		return fmt.Errorf("blob: %w", err)
 	}
@@ -73,6 +116,14 @@ func (f *FS) Put(ctx context.Context, key string, payload []byte) error {
 // delete the damaged file and report ErrCorrupt so the caller recomputes
 // instead of serving garbage — a corrupt blob must never outlive its first
 // read, or it would poison every replica that trusts the shared tier.
+//
+// The delete is conditional: between reading the corrupt frame and
+// removing it, a concurrent Put can atomically rename a *good* blob into
+// place (publishes are concurrent across the whole fleet), and an
+// unconditional remove would destroy the fresh copy. The file's size and
+// mtime are captured from the same open handle the bytes came from and
+// compared against the path just before removal — if they changed, the
+// corpse we read is already gone and the new blob is left alone.
 func (f *FS) Get(ctx context.Context, key string) ([]byte, error) {
 	if !ValidKey(key) {
 		return nil, ErrBadKey
@@ -80,19 +131,46 @@ func (f *FS) Get(ctx context.Context, key string) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	b, err := os.ReadFile(f.path(key))
+	file, err := os.Open(f.path(key))
 	if os.IsNotExist(err) {
 		return nil, ErrNotFound
 	}
 	if err != nil {
 		return nil, fmt.Errorf("blob: %w", err)
 	}
+	readInfo, err := file.Stat()
+	if err != nil {
+		file.Close()
+		return nil, fmt.Errorf("blob: %w", err)
+	}
+	b, err := io.ReadAll(file)
+	file.Close()
+	if err != nil {
+		return nil, fmt.Errorf("blob: %w", err)
+	}
 	payload, ok := DecodeFrame(b)
 	if !ok {
-		os.Remove(f.path(key))
+		if f.corruptReadHook != nil {
+			f.corruptReadHook(key)
+		}
+		f.removeIfUnchanged(key, readInfo)
 		return nil, ErrCorrupt
 	}
 	return payload, nil
+}
+
+// removeIfUnchanged deletes the key's file only if its size and mtime still
+// match the handle the corrupt bytes were read from; a mismatch means a
+// concurrent Put already replaced it and the replacement must survive.
+func (f *FS) removeIfUnchanged(key string, readInfo fs.FileInfo) {
+	now, err := os.Stat(f.path(key))
+	if err != nil {
+		return // already gone (or unreadable): nothing safe to do
+	}
+	if now.Size() != readInfo.Size() || !now.ModTime().Equal(readInfo.ModTime()) {
+		return
+	}
+	os.Remove(f.path(key))
 }
 
 // Delete implements Backend.

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -104,6 +105,123 @@ func flipLastByte(b []byte) []byte {
 	out := append([]byte(nil), b...)
 	out[len(out)-1] ^= 0xff
 	return out
+}
+
+// A crash between CreateTemp and rename strands a tmp file; NewFS must
+// sweep such orphans from the root (legacy location) and the fan-out
+// subdirectories (current location) so they cannot accumulate forever.
+func TestNewFSSweepsTmpOrphans(t *testing.T) {
+	dir := t.TempDir()
+	k := key("orphaned")
+	sub := filepath.Join(dir, k[:2])
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{
+		filepath.Join(dir, k+".tmp123456"), // legacy root-level orphan
+		filepath.Join(sub, k+".tmp789"),    // fan-out orphan
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("half-written frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A real blob in the same fan-out dir must survive the sweep.
+	fs0, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs0.Put(context.Background(), k, []byte("keep me")); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if err := os.WriteFile(p, []byte("half-written frame"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if _, err := NewFS(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range orphans {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphan %s survived NewFS sweep", p)
+		}
+	}
+	if got, err := fs0.Get(context.Background(), k); err != nil || string(got) != "keep me" {
+		t.Fatalf("real blob damaged by sweep: %q, %v", got, err)
+	}
+}
+
+// Put must never leave tmp files behind on the success path, and the tmp
+// it uses must live in the key's fan-out directory (same-dir rename).
+func TestPutLeavesNoTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	fs0, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("clean")
+	if err := fs0.Put(context.Background(), k, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.Contains(d.Name(), ".tmp") {
+			t.Errorf("tmp file %s left after successful Put", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The corrupt-delete race (TOCTOU): Get reads a corrupt frame, a
+// concurrent Put renames a good blob into place, and Get's cleanup must
+// NOT delete the new good blob. The race is forced deterministically via
+// the corrupt-read hook, which runs between the read and the delete.
+func TestCorruptDeleteRaceKeepsConcurrentPut(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	fs0, err := NewFS(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("raced")
+	good := []byte("the freshly published good payload")
+	p := filepath.Join(dir, k[:2], k+".blob")
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte("corrupt junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs0.corruptReadHook = func(hk string) {
+		if hk != k {
+			t.Fatalf("hook key %q, want %q", hk, k)
+		}
+		// The interleaved writer: a replica publishing good bytes between
+		// this reader's read and its delete.
+		if err := fs0.Put(ctx, k, good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := fs0.Get(ctx, k); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Get of corrupt frame = %v, want ErrCorrupt", err)
+	}
+	fs0.corruptReadHook = nil
+	// Before the fix, the unconditional os.Remove deleted the concurrent
+	// Put's blob and this read reported ErrNotFound.
+	got, err := fs0.Get(ctx, k)
+	if err != nil {
+		t.Fatalf("Get after raced publish = %v, want the good blob", err)
+	}
+	if !bytes.Equal(got, good) {
+		t.Fatalf("Get = %q, want %q", got, good)
+	}
 }
 
 func TestDeleteIdempotent(t *testing.T) {

@@ -1,0 +1,258 @@
+package gf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Striper is a systematic (k+m, k) erasure coder for shard striping: a
+// payload split into k equal-length data shards gains m parity shards, and
+// any k surviving shards — data or parity, in any combination — rebuild
+// the rest. Column i across the shard set is one codeword of the same
+// Reed–Solomon family the memory schemes use (NewRS(k+m, k)), so the
+// striper inherits the code's MDS guarantee: every k×k submatrix of its
+// generator is invertible and m lost shards are always recoverable.
+//
+// This is the paper's core move lifted one level up: one set of parity
+// resources amortized across k independent channels — here, shard
+// directories on independent machines — rebuilding any failed one. All
+// hot loops run on precomputed MulTable product rows (one table index per
+// byte), the same technique the RS codec's encode path uses, and a Striper
+// is read-only after NewStriper so one instance is safe to share across
+// goroutines.
+type Striper struct {
+	k, m int
+	// coef[d][j] is the generator coefficient mapping data shard d into
+	// parity shard j, derived from the systematic RS code by encoding unit
+	// vectors; parityMul[d][j] is its precomputed product row.
+	coef      [][]byte
+	parityMul [][][Order]byte
+}
+
+// ErrShortShards reports fewer surviving shards than the k needed to
+// reconstruct.
+var ErrShortShards = errors.New("gf: not enough shards to reconstruct")
+
+// NewStriper builds a (k+m, k) striper. Like NewRS it panics on invalid
+// geometry (k ≥ 1, m ≥ 1, k+m ≤ 255): geometry is a deployment constant,
+// validated at the flag layer, never data-dependent.
+func NewStriper(k, m int) *Striper {
+	if k < 1 || m < 1 || k+m > Order-1 {
+		panic(fmt.Sprintf("gf: invalid striper geometry k=%d m=%d", k, m))
+	}
+	rs := NewRS(k+m, k)
+	s := &Striper{k: k, m: m}
+	s.coef = make([][]byte, k)
+	s.parityMul = make([][][Order]byte, k)
+	unit := make([]byte, k)
+	for d := 0; d < k; d++ {
+		unit[d] = 1
+		checks := rs.Checks(unit)
+		unit[d] = 0
+		s.coef[d] = checks
+		s.parityMul[d] = make([][Order]byte, m)
+		for j := 0; j < m; j++ {
+			s.parityMul[d][j] = MulTable(checks[j])
+		}
+	}
+	return s
+}
+
+// K returns the data shard count.
+func (s *Striper) K() int { return s.k }
+
+// M returns the parity shard count.
+func (s *Striper) M() int { return s.m }
+
+// N returns the total shard count k+m.
+func (s *Striper) N() int { return s.k + s.m }
+
+// EncodeShards fills the m parity shards (the last m entries) from the k
+// data shards (the first k), all equal-length and preallocated. Parity
+// contents are overwritten.
+func (s *Striper) EncodeShards(shards [][]byte) error {
+	if err := s.checkLengths(shards); err != nil {
+		return err
+	}
+	size := len(shards[0])
+	for j := 0; j < s.m; j++ {
+		clearBytes(shards[s.k+j])
+	}
+	for d := 0; d < s.k; d++ {
+		data := shards[d]
+		for j := 0; j < s.m; j++ {
+			row := &s.parityMul[d][j]
+			parity := shards[s.k+j]
+			for i := 0; i < size; i++ {
+				parity[i] ^= row[data[i]]
+			}
+		}
+	}
+	return nil
+}
+
+// ReconstructShards rebuilds every nil entry of shards in place from the
+// non-nil survivors. At least k shards must be present (ErrShortShards
+// otherwise) and all present shards must share one length. Missing data
+// shards are solved through the inverse of the surviving generator rows;
+// missing parity shards are re-encoded from the completed data.
+func (s *Striper) ReconstructShards(shards [][]byte) error {
+	if len(shards) != s.N() {
+		return fmt.Errorf("gf: %d shards for a (%d,%d) striper", len(shards), s.N(), s.k)
+	}
+	present := make([]int, 0, s.N())
+	size := -1
+	for i, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(sh)
+		} else if len(sh) != size {
+			return fmt.Errorf("gf: shard %d length %d != %d", i, len(sh), size)
+		}
+		present = append(present, i)
+	}
+	if len(present) < s.k {
+		return ErrShortShards
+	}
+	if len(present) == s.N() {
+		return nil
+	}
+
+	var missingData bool
+	for d := 0; d < s.k; d++ {
+		if shards[d] == nil {
+			missingData = true
+			break
+		}
+	}
+	if missingData {
+		// Solve D = A⁻¹·P where A is the k surviving generator rows used
+		// and P their shard bytes; only the first k survivors are needed.
+		rows := present[:s.k]
+		inv := s.invertRows(rows)
+		for d := 0; d < s.k; d++ {
+			if shards[d] != nil {
+				continue
+			}
+			out := make([]byte, size)
+			for r, src := range rows {
+				c := inv[d][r]
+				if c == 0 {
+					continue
+				}
+				row := MulTable(c)
+				in := shards[src]
+				for i := 0; i < size; i++ {
+					out[i] ^= row[in[i]]
+				}
+			}
+			shards[d] = out
+		}
+	}
+	// Data is complete; re-encode any missing parity shards.
+	for j := 0; j < s.m; j++ {
+		if shards[s.k+j] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		for d := 0; d < s.k; d++ {
+			row := &s.parityMul[d][j]
+			in := shards[d]
+			for i := 0; i < size; i++ {
+				out[i] ^= row[in[i]]
+			}
+		}
+		shards[s.k+j] = out
+	}
+	return nil
+}
+
+// generatorRow returns row r of the (k+m)×k generator matrix: identity for
+// data rows, the derived coefficients for parity rows.
+func (s *Striper) generatorRow(r int) []byte {
+	row := make([]byte, s.k)
+	if r < s.k {
+		row[r] = 1
+		return row
+	}
+	for d := 0; d < s.k; d++ {
+		row[d] = s.coef[d][r-s.k]
+	}
+	return row
+}
+
+// invertRows inverts the k×k matrix formed by the given generator rows via
+// Gauss–Jordan elimination over GF(2^8). The RS code is MDS, so any k rows
+// are linearly independent; a singular matrix here is a codec bug and
+// panics like the field's own division by zero.
+func (s *Striper) invertRows(rows []int) [][]byte {
+	k := s.k
+	a := make([][]byte, k)   // working copy, reduced to identity
+	inv := make([][]byte, k) // starts as identity, becomes the inverse
+	for i, r := range rows {
+		a[i] = s.generatorRow(r)
+		inv[i] = make([]byte, k)
+		inv[i][i] = 1
+	}
+	for col := 0; col < k; col++ {
+		pivot := -1
+		for r := col; r < k; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			panic("gf: singular shard matrix (MDS violation)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		if p := a[col][col]; p != 1 {
+			pinv := Inv(p)
+			scaleRow(a[col], pinv)
+			scaleRow(inv[col], pinv)
+		}
+		for r := 0; r < k; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			f := a[r][col]
+			addScaledRow(a[r], a[col], f)
+			addScaledRow(inv[r], inv[col], f)
+		}
+	}
+	return inv
+}
+
+func (s *Striper) checkLengths(shards [][]byte) error {
+	if len(shards) != s.N() {
+		return fmt.Errorf("gf: %d shards for a (%d,%d) striper", len(shards), s.N(), s.k)
+	}
+	size := len(shards[0])
+	for i, sh := range shards {
+		if len(sh) != size {
+			return fmt.Errorf("gf: shard %d length %d != %d", i, len(sh), size)
+		}
+	}
+	return nil
+}
+
+func scaleRow(row []byte, f byte) {
+	for i, c := range row {
+		row[i] = Mul(c, f)
+	}
+}
+
+func addScaledRow(dst, src []byte, f byte) {
+	for i, c := range src {
+		dst[i] ^= Mul(c, f)
+	}
+}
+
+func clearBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

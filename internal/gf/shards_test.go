@@ -1,0 +1,165 @@
+package gf
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randShards builds k random data shards plus m empty parity shards.
+func randShards(rng *rand.Rand, k, m, size int) [][]byte {
+	shards := make([][]byte, k+m)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		if i < k {
+			rng.Read(shards[i])
+		}
+	}
+	return shards
+}
+
+func cloneShards(shards [][]byte) [][]byte {
+	out := make([][]byte, len(shards))
+	for i, s := range shards {
+		out[i] = append([]byte(nil), s...)
+	}
+	return out
+}
+
+// Every column of an encoded shard set must be a consistent codeword of the
+// underlying RS code — the striper is the same code family, transposed.
+func TestStriperColumnsAreRSCodewords(t *testing.T) {
+	const k, m, size = 4, 2, 64
+	s := NewStriper(k, m)
+	rs := NewRS(k+m, k)
+	shards := randShards(rand.New(rand.NewSource(1)), k, m, size)
+	if err := s.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	cw := make([]byte, k+m)
+	for i := 0; i < size; i++ {
+		for p := range shards {
+			cw[p] = shards[p][i]
+		}
+		if rs.HasError(cw) {
+			t.Fatalf("column %d is not a valid RS codeword", i)
+		}
+	}
+}
+
+// Reconstruction must succeed for every erasure pattern of up to m shards,
+// data and parity alike, restoring byte-identical contents.
+func TestStriperReconstructAllErasurePatterns(t *testing.T) {
+	for _, geo := range []struct{ k, m int }{{4, 2}, {2, 1}, {1, 2}, {5, 3}} {
+		s := NewStriper(geo.k, geo.m)
+		n := geo.k + geo.m
+		orig := randShards(rand.New(rand.NewSource(int64(n))), geo.k, geo.m, 37)
+		if err := s.EncodeShards(orig); err != nil {
+			t.Fatal(err)
+		}
+		// Every subset of positions with 1..m members erased.
+		for mask := 1; mask < 1<<n; mask++ {
+			erased := 0
+			for p := 0; p < n; p++ {
+				if mask&(1<<p) != 0 {
+					erased++
+				}
+			}
+			if erased > geo.m {
+				continue
+			}
+			work := cloneShards(orig)
+			for p := 0; p < n; p++ {
+				if mask&(1<<p) != 0 {
+					work[p] = nil
+				}
+			}
+			if err := s.ReconstructShards(work); err != nil {
+				t.Fatalf("(%d,%d) mask %b: %v", geo.k, geo.m, mask, err)
+			}
+			for p := range work {
+				if !bytes.Equal(work[p], orig[p]) {
+					t.Fatalf("(%d,%d) mask %b: shard %d differs after reconstruction", geo.k, geo.m, mask, p)
+				}
+			}
+		}
+	}
+}
+
+// More than m erasures must be reported, never silently mis-reconstructed.
+func TestStriperTooManyErasures(t *testing.T) {
+	s := NewStriper(4, 2)
+	shards := randShards(rand.New(rand.NewSource(7)), 4, 2, 16)
+	if err := s.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[3], shards[5] = nil, nil, nil
+	if err := s.ReconstructShards(shards); !errors.Is(err, ErrShortShards) {
+		t.Fatalf("ReconstructShards with 3 erasures = %v, want ErrShortShards", err)
+	}
+}
+
+// Length mismatches are rejected up front for both operations.
+func TestStriperLengthMismatch(t *testing.T) {
+	s := NewStriper(2, 1)
+	shards := [][]byte{make([]byte, 8), make([]byte, 9), make([]byte, 8)}
+	if err := s.EncodeShards(shards); err == nil {
+		t.Fatal("EncodeShards accepted mismatched lengths")
+	}
+	shards[1] = nil
+	shards[2] = make([]byte, 7)
+	if err := s.ReconstructShards(shards); err == nil {
+		t.Fatal("ReconstructShards accepted mismatched lengths")
+	}
+	if err := s.EncodeShards([][]byte{nil, nil}); err == nil {
+		t.Fatal("EncodeShards accepted wrong shard count")
+	}
+}
+
+// Zero-length shards are a valid degenerate stripe (an empty payload).
+func TestStriperZeroLength(t *testing.T) {
+	s := NewStriper(4, 2)
+	shards := make([][]byte, 6)
+	for i := range shards {
+		shards[i] = []byte{}
+	}
+	if err := s.EncodeShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1], shards[4] = nil, nil
+	if err := s.ReconstructShards(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i, sh := range shards {
+		if len(sh) != 0 {
+			t.Fatalf("shard %d length %d after zero-length reconstruction", i, len(sh))
+		}
+	}
+}
+
+// A full shard set reconstructs to itself (no-op) and re-encoding after a
+// repair yields the same parity — idempotence of the whole cycle.
+func TestStriperIdempotent(t *testing.T) {
+	s := NewStriper(3, 2)
+	orig := randShards(rand.New(rand.NewSource(9)), 3, 2, 128)
+	if err := s.EncodeShards(orig); err != nil {
+		t.Fatal(err)
+	}
+	work := cloneShards(orig)
+	if err := s.ReconstructShards(work); err != nil {
+		t.Fatal(err)
+	}
+	for p := range work {
+		if !bytes.Equal(work[p], orig[p]) {
+			t.Fatalf("no-op reconstruction changed shard %d", p)
+		}
+	}
+	work[4] = nil
+	if err := s.ReconstructShards(work); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(work[4], orig[4]) {
+		t.Fatal("repaired parity differs from the original encoding")
+	}
+}

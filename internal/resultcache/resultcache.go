@@ -92,6 +92,15 @@ type Stats struct {
 	// SharedErrors: shared-tier reads or publishes that failed for
 	// transport/IO reasons (the tier was treated as unavailable).
 	SharedErrors uint64
+	// SharedRepaired: shards of the erasure-coded shared tier rewritten
+	// with reconstructed bytes after reads served through missing or
+	// corrupt shards (0 unless the backend reports repair stats — see
+	// blob.RepairStatter and internal/blob/ec).
+	SharedRepaired uint64
+	// ShardErrors: per-shard failures inside the erasure-coded shared tier
+	// that the stripe absorbed without the operation failing (0 unless the
+	// backend reports repair stats).
+	ShardErrors uint64
 	// Entries currently held in memory.
 	Entries int
 	// DiskEntries / DiskBytes describe the on-disk layer (0 when disabled).
@@ -519,6 +528,10 @@ func (c *Cache) Stats() Stats {
 	diskEntries := c.lru.Len()
 	diskBytes := c.bytes
 	c.mu.Unlock()
+	var repair blob.RepairStats
+	if rs, ok := c.shared.(blob.RepairStatter); ok {
+		repair = rs.RepairStats()
+	}
 	return Stats{
 		Hits:            c.hits.Load(),
 		Misses:          c.misses.Load(),
@@ -529,6 +542,8 @@ func (c *Cache) Stats() Stats {
 		SharedPublished: c.sharedPub.Load(),
 		SharedCorrupt:   c.sharedCorrupt.Load(),
 		SharedErrors:    c.sharedErrors.Load(),
+		SharedRepaired:  repair.Repaired,
+		ShardErrors:     repair.ShardErrors,
 		Entries:         entries,
 		DiskEntries:     diskEntries,
 		DiskBytes:       diskBytes,

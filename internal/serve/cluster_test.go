@@ -5,12 +5,15 @@ import (
 	"context"
 	"net"
 	"net/http"
+	"net/http/httptest"
+	"os"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"eccparity/internal/blob"
+	"eccparity/internal/blob/ec"
 	"eccparity/internal/cluster"
 	"eccparity/internal/resultcache"
 	"eccparity/internal/sim/report"
@@ -42,10 +45,37 @@ func (n *clusterNode) kill() {
 	}
 }
 
+// fsBlob returns a blob-backend factory handing every replica its own
+// *blob.FS over one shared dir — the plain single-copy shared tier.
+func fsBlob(dir string) func(*testing.T) blob.Backend {
+	return func(t *testing.T) blob.Backend {
+		t.Helper()
+		fs, err := blob.NewFS(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+}
+
+// ecBlob returns a factory handing every replica a fresh erasure-coded
+// backend (k=4, m=2) over the same six shard roots.
+func ecBlob(dirs []string) func(*testing.T) blob.Backend {
+	return func(t *testing.T) blob.Backend {
+		t.Helper()
+		b, err := ec.OpenFS(4, 2, dirs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+}
+
 // startCluster boots n replicas on loopback listeners that all know the
-// full member list, sharing one blob dir when blobDir != "". Listeners are
-// opened first so every Options can carry every replica's real address.
-func startCluster(t *testing.T, n int, blobDir string) ([]*clusterNode, *cluster.Ring) {
+// full member list; newBlob, when non-nil, supplies each replica's shared
+// blob tier. Listeners are opened first so every Options can carry every
+// replica's real address.
+func startCluster(t *testing.T, n int, newBlob func(*testing.T) blob.Backend) ([]*clusterNode, *cluster.Ring) {
 	t.Helper()
 	lns := make([]net.Listener, n)
 	peers := make([]cluster.Node, n)
@@ -64,12 +94,8 @@ func startCluster(t *testing.T, n int, blobDir string) ([]*clusterNode, *cluster
 	nodes := make([]*clusterNode, n)
 	for i := range nodes {
 		o := Options{Workers: 2, NodeID: peers[i].ID, Peers: peers}
-		if blobDir != "" {
-			fs, err := blob.NewFS(blobDir)
-			if err != nil {
-				t.Fatal(err)
-			}
-			o.Blob = fs
+		if newBlob != nil {
+			o.Blob = newBlob(t)
 		}
 		s, err := New(o)
 		if err != nil {
@@ -127,7 +153,7 @@ func submitSeed(seed int64) api.SubmitRequest {
 // byte-identically — including a Cached=true answer for the same config
 // resubmitted on a different node.
 func TestClusterCrossNodeByteIdenticalServing(t *testing.T) {
-	nodes, ring := startCluster(t, 3, t.TempDir())
+	nodes, ring := startCluster(t, 3, fsBlob(t.TempDir()))
 	// A seed owned by b, submitted on a: exercises the forward path.
 	seed := seedOwnedBy(t, ring, "b", 1)
 
@@ -195,7 +221,7 @@ func TestClusterCrossNodeByteIdenticalServing(t *testing.T) {
 // An unreachable owner must not fail the submission: the receiving replica
 // executes the job itself (determinism makes the duplicate compute safe).
 func TestClusterForwardFallbackWhenOwnerDead(t *testing.T) {
-	nodes, ring := startCluster(t, 3, "")
+	nodes, ring := startCluster(t, 3, nil)
 	seed := seedOwnedBy(t, ring, "c", 1)
 	nodes[2].kill()
 
@@ -228,7 +254,7 @@ func TestClusterForwardFallbackWhenOwnerDead(t *testing.T) {
 // locally (or served from the shared tier), and every point stays
 // fetchable byte-identically from the survivors.
 func TestClusterSweepSurvivesReplicaDeath(t *testing.T) {
-	nodes, ring := startCluster(t, 3, t.TempDir())
+	nodes, ring := startCluster(t, 3, fsBlob(t.TempDir()))
 	// Four seeds: at least one owned by the doomed replica c and one by b,
 	// so the sweep genuinely spans the fleet.
 	seeds := []int64{
@@ -291,7 +317,7 @@ func TestClusterSweepSurvivesReplicaDeath(t *testing.T) {
 // Without a shared tier, a result read on a replica that never computed it
 // 307-redirects to the hash owner; the stock client follows transparently.
 func TestClusterResultRedirect(t *testing.T) {
-	nodes, ring := startCluster(t, 2, "")
+	nodes, ring := startCluster(t, 2, nil)
 	seed := seedOwnedBy(t, ring, "b", 1)
 
 	ca := api.NewClient(nodes[0].url)
@@ -317,5 +343,115 @@ func TestClusterResultRedirect(t *testing.T) {
 	}
 	if nodes[0].srv.metrics.resultsRedirected.Load() == 0 {
 		t.Error("results_redirected not counted")
+	}
+}
+
+// The erasure-coded shared tier's e2e promise: with k=4,m=2 shard roots
+// under a 3-replica sweep, losing two whole roots mid-sweep is invisible —
+// a fresh replica with an empty local cache afterwards serves every point
+// byte-identically straight from the degraded tier, with zero recomputes
+// and the lost shards rebuilt (SharedRepaired > 0).
+func TestClusterECSweepSurvivesShardRootLoss(t *testing.T) {
+	dirs := ec.DeriveRoots(t.TempDir(), 6)
+	nodes, ring := startCluster(t, 3, ecBlob(dirs))
+	seeds := []int64{
+		seedOwnedBy(t, ring, "a", 1),
+		seedOwnedBy(t, ring, "b", 1000),
+		seedOwnedBy(t, ring, "c", 2000),
+		seedOwnedBy(t, ring, "c", 3000),
+	}
+
+	ca := api.NewClient(nodes[0].url)
+	ctx := context.Background()
+	st, err := ca.SubmitSweep(ctx, api.SweepRequest{
+		Base: api.SubmitRequest{Experiment: "table3", Cycles: 2000, Warmup: 200, Trials: 8},
+		Axes: api.SweepAxes{Seed: seeds},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait for at least one finished point, flush its publish so a full
+	// stripe is on disk, then destroy two shard roots — one data, one
+	// parity — while the rest of the sweep is still running.
+	for {
+		cur, err := ca.Sweep(ctx, st.ID, 100*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Progress.Done >= 1 {
+			break
+		}
+	}
+	for _, nd := range nodes {
+		nd.srv.cache.FlushShared()
+	}
+	for _, d := range []string{dirs[1], dirs[4]} {
+		os.RemoveAll(d) // first pass may race a concurrent publish
+		if err := os.RemoveAll(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	final, err := ca.WaitSweep(ctx, st.ID, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != api.StatusDone {
+		t.Fatalf("sweep finished %s: %+v", final.Status, final.Progress)
+	}
+	if final.Progress.Done != len(seeds) {
+		t.Fatalf("progress %+v, want all %d points done", final.Progress, len(seeds))
+	}
+	for _, nd := range nodes {
+		nd.srv.cache.FlushShared()
+	}
+
+	// Reference bytes from the live fleet (owners still hold local copies).
+	want := make(map[int][]byte, len(final.Points))
+	for _, pt := range final.Points {
+		b, err := ca.ResultBytes(ctx, pt.ResultHash)
+		if err != nil {
+			t.Fatalf("point %d reference read: %v", pt.Index, err)
+		}
+		want[pt.Index] = b
+	}
+
+	// A fresh single replica — empty memory and disk tiers, same shard
+	// roots — must serve every point from the shared tier alone.
+	fs, err := New(Options{Workers: 2, CacheDir: t.TempDir(), Blob: ecBlob(dirs)(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		fs.Drain(dctx)
+		cancel()
+	}()
+	fresh := httptest.NewServer(fs.Handler())
+	defer fresh.Close()
+	cf := api.NewClient(fresh.URL)
+	for _, pt := range final.Points {
+		got, err := cf.ResultBytes(ctx, pt.ResultHash)
+		if err != nil {
+			t.Fatalf("point %d from fresh replica: %v", pt.Index, err)
+		}
+		if !bytes.Equal(got, want[pt.Index]) {
+			t.Fatalf("point %d: fresh replica served different bytes", pt.Index)
+		}
+	}
+	s := fs.cache.Stats()
+	if s.Misses != 0 {
+		t.Fatalf("fresh replica computed %d results; want all served from the EC tier", s.Misses)
+	}
+	if s.SharedRepaired == 0 {
+		t.Fatal("SharedRepaired = 0: degraded reads must rebuild the lost shards")
+	}
+	if s.SharedCorrupt != 0 || s.SharedErrors != 0 {
+		t.Fatalf("stats %+v: in-budget root loss must not count as corruption or errors", s)
+	}
+	code, mb := getBody(t, fresh.URL+"/metrics")
+	if code != http.StatusOK || !strings.Contains(string(mb), "eccsimd_cache_shared_repaired_total") {
+		t.Errorf("metrics missing EC repair counter (status %d)", code)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"eccparity/internal/blob"
 	"eccparity/internal/jobqueue"
 	"eccparity/internal/stats"
 )
@@ -164,6 +165,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("eccsimd_cache_shared_published_total", "Results published (write-behind) to the shared blob tier.", cs.SharedPublished)
 		counter("eccsimd_cache_shared_corrupt_total", "Shared blobs that failed their checksum and were deleted.", cs.SharedCorrupt)
 		counter("eccsimd_cache_shared_errors_total", "Shared-tier reads or publishes that failed (tier unreachable).", cs.SharedErrors)
+		// Erasure-coded tiers additionally report repair activity; a plain
+		// single-copy -blob-dir keeps its scrape output unchanged.
+		if _, ok := s.opts.Blob.(blob.RepairStatter); ok {
+			counter("eccsimd_cache_shared_repaired_total", "Shards rewritten with reconstructed bytes after degraded shared-tier reads.", cs.SharedRepaired)
+			counter("eccsimd_cache_shard_errors_total", "Per-shard failures the erasure-coded shared tier absorbed.", cs.ShardErrors)
+		}
 	}
 	if s.clustered() {
 		ring := s.peers.ring

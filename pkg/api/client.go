@@ -23,9 +23,15 @@ const (
 	reconnectCap  = 5 * time.Second
 )
 
-// jittered scales d by a uniform factor in [0.5, 1.0).
+// jittered scales d by a uniform factor in [0.5, 1.0). Durations too short
+// to halve (d < 2ns, including 0) are returned as-is: rand.Int63n panics on
+// a non-positive bound, and there is nothing useful to jitter at that scale.
 func jittered(d time.Duration) time.Duration {
-	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)))
 }
 
 // sleepCtx waits for d or until ctx is done, reporting whether the full

@@ -1,0 +1,41 @@
+package api
+
+import (
+	"testing"
+	"time"
+)
+
+// jittered must never panic — rand.Int63n requires a positive bound, and
+// backoff arithmetic can legitimately produce sub-2ns durations — and must
+// stay inside [d/2, d) whenever d is large enough to jitter.
+func TestJitteredEdgeDurations(t *testing.T) {
+	cases := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"zero", 0},
+		{"one_ns", 1},              // d/2 == 0: the old Int63n(0) panic
+		{"negative", -time.Second}, // defensive: a miscomputed backoff
+		{"two_ns", 2},
+		{"three_ns", 3},
+		{"odd_ms", 99_999_999},
+		{"base", 100 * time.Millisecond},
+		{"cap", 5 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ {
+				got := jittered(tc.d)
+				if tc.d < 2 {
+					if got != tc.d {
+						t.Fatalf("jittered(%v) = %v, want the input unchanged", tc.d, got)
+					}
+					continue
+				}
+				if got < tc.d/2 || got >= tc.d {
+					t.Fatalf("jittered(%v) = %v, want in [%v, %v)", tc.d, got, tc.d/2, tc.d)
+				}
+			}
+		})
+	}
+}
